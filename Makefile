@@ -1,0 +1,39 @@
+# SmoothOperator reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments ablations extensions fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+ablations:
+	$(GO) run ./cmd/experiments -ablations
+
+extensions:
+	$(GO) run ./cmd/experiments -extensions
+
+fuzz:
+	$(GO) test -run=XXX -fuzz=FuzzReadCSV -fuzztime=10s ./internal/timeseries/
+	$(GO) test -run=XXX -fuzz=FuzzLoadTree -fuzztime=10s ./internal/powertree/
+
+clean:
+	rm -rf internal/*/testdata/fuzz

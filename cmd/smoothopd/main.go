@@ -1,0 +1,149 @@
+// Command smoothopd operates SmoothOperator as a (replayed) service: it
+// streams synthetic telemetry into the trace store week by week, bootstraps
+// the placement from collected history, ticks the drift monitor at every
+// week boundary, and reports what the monitor saw and repaired. The final
+// placed tree can be checkpointed to JSON for inspection.
+//
+// Usage:
+//
+//	smoothopd -dc DC2 -scale 1 -weeks 5 -step 30m -tree-out tree.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/powertree"
+	"repro/internal/tracestore"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dc      = flag.String("dc", "DC2", "datacenter: DC1, DC2 or DC3")
+		scale   = flag.Int("scale", 1, "fleet scale multiplier")
+		step    = flag.Duration("step", 30*time.Minute, "trace sampling interval")
+		weeks   = flag.Int("weeks", 5, "total weeks to replay (≥3: 2 training + ticks)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		floor   = flag.Float64("floor", 1.25, "leaf asynchrony score floor that triggers remapping")
+		swaps   = flag.Int("swaps", 24, "max swaps per weekly repair")
+		treeOut = flag.String("tree-out", "", "write the final placed tree as JSON to this file")
+		listen  = flag.String("listen", "", "after the replay, serve the runtime's HTTP status API on this address (e.g. :8080) until interrupted")
+	)
+	flag.Parse()
+	if err := run(*dc, *scale, *step, *weeks, *seed, *floor, *swaps, *treeOut, *listen); err != nil {
+		fmt.Fprintln(os.Stderr, "smoothopd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dc string, scale int, step time.Duration, weeks int, seed int64, floor float64, swaps int, treeOut, listen string) error {
+	if weeks < 3 {
+		return fmt.Errorf("need ≥3 weeks (2 training + 1 tick), got %d", weeks)
+	}
+	cfg, err := workload.StandardDCConfig(workload.DCName(dc), scale)
+	if err != nil {
+		return err
+	}
+	cfg.Gen.Step = step
+	cfg.Gen.Weeks = weeks
+	fleet, tree, err := workload.BuildDC(cfg)
+	if err != nil {
+		return err
+	}
+	store := tracestore.New(tracestore.Config{
+		Step:      step,
+		Retention: time.Duration(weeks+1) * 7 * 24 * time.Hour,
+	})
+	rt, err := core.NewRuntime(
+		core.New(core.Config{TopServices: 8, Seed: seed}),
+		store, tree,
+		core.RuntimeConfig{ScoreFloor: floor, MaxSwapsPerTick: swaps},
+	)
+	if err != nil {
+		return err
+	}
+
+	start := fleet.Instances[0].Trace.Start
+	week := 7 * 24 * time.Hour
+	ingestWindow := func(from, to time.Time) error {
+		for _, inst := range fleet.Instances {
+			tr := inst.Trace
+			for i := 0; i < tr.Len(); i++ {
+				at := tr.TimeAt(i)
+				if at.Before(from) || !at.Before(to) {
+					continue
+				}
+				if err := rt.Ingest(inst.ID, at, tr.Values[i]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	fmt.Printf("smoothopd — %s, %d instances, %d leaves, %d weeks at %s\n\n",
+		dc, len(fleet.Instances), len(tree.Leaves()), weeks, step)
+
+	// Weeks 1–2: collect history.
+	trainEnd := start.Add(2 * week)
+	if err := ingestWindow(start, trainEnd); err != nil {
+		return err
+	}
+	fmt.Println("weeks 1–2: telemetry collected")
+
+	instances := make([]placement.Instance, len(fleet.Instances))
+	for i, inst := range fleet.Instances {
+		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
+	}
+	if err := rt.Bootstrap(instances, trainEnd, 2); err != nil {
+		return err
+	}
+	fmt.Println("placement bootstrapped from averaged I-traces")
+
+	// Remaining weeks: ingest + tick.
+	for w := 2; w < weeks; w++ {
+		from := start.Add(time.Duration(w) * week)
+		to := from.Add(week)
+		if err := ingestWindow(from, to); err != nil {
+			return err
+		}
+		rep, err := rt.Tick(to, week)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("week %d tick: worst leaf %-22s score %.3f  Σ leaf peaks %9.0f  swaps %d\n",
+			w+1, rep.WorstNode, rep.WorstScore, rep.SumOfPeaks, len(rep.Swaps))
+	}
+
+	if treeOut != "" {
+		f, err := os.Create(treeOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rt.Tree().Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nfinal placed tree written to %s\n", treeOut)
+		// Round-trip sanity: the checkpoint must load back valid.
+		g, err := os.Open(treeOut)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		if _, err := powertree.LoadTree(g); err != nil {
+			return fmt.Errorf("checkpoint failed to load back: %w", err)
+		}
+	}
+	if listen != "" {
+		fmt.Printf("\nserving status API on %s (GET /status /tree /history /healthz)\n", listen)
+		return http.ListenAndServe(listen, core.HTTPHandler(rt))
+	}
+	return nil
+}

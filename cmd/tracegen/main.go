@@ -1,0 +1,129 @@
+// Command tracegen generates synthetic datacenter fleets and per-instance
+// power traces — the stand-in for the paper's proprietary production
+// telemetry. It writes either one CSV per instance into a directory or a
+// single JSON document.
+//
+// Usage:
+//
+//	tracegen -dc DC1 -scale 2 -step 10m -out traces/ -format csv
+//	tracegen -dc DC3 -format json > dc3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dc       = flag.String("dc", "DC1", "datacenter to synthesize: DC1, DC2 or DC3")
+		scale    = flag.Int("scale", 1, "fleet scale multiplier (≥1)")
+		step     = flag.Duration("step", 10*time.Minute, "trace sampling interval")
+		weeks    = flag.Int("weeks", 3, "weeks of trace to generate")
+		out      = flag.String("out", "", "output directory (csv) or file (json); default stdout for json")
+		format   = flag.String("format", "json", "output format: csv, json, or fleet (canonical, loadable by smoothop -fleet)")
+		validate = flag.Bool("validate", false, "check generated traces against their class expectations (§2.3) and report violations")
+	)
+	flag.Parse()
+
+	if err := run(*dc, *scale, *step, *weeks, *out, *format, *validate); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dc string, scale int, step time.Duration, weeks int, out, format string, validate bool) error {
+	cfg, err := workload.StandardDCConfig(workload.DCName(dc), scale)
+	if err != nil {
+		return err
+	}
+	cfg.Gen.Step = step
+	cfg.Gen.Weeks = weeks
+	fleet, err := workload.Generate(cfg.Gen, workload.StandardProfiles())
+	if err != nil {
+		return err
+	}
+	if validate {
+		violations, err := workload.ValidateFleet(fleet, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, workload.FormatViolations(violations))
+	}
+	switch format {
+	case "fleet":
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return workload.SaveFleet(fleet, w)
+	case "csv":
+		if out == "" {
+			return fmt.Errorf("csv output requires -out directory")
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		for _, inst := range fleet.Instances {
+			f, err := os.Create(filepath.Join(out, inst.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := inst.Trace.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d instance traces to %s\n", len(fleet.Instances), out)
+		return nil
+	case "json":
+		doc := struct {
+			DC        string                       `json:"dc"`
+			Instances map[string]jsonInstance      `json:"instances"`
+			Breakdown []workload.ServicePower      `json:"breakdown"`
+			Traces    map[string]timeseries.Series `json:"traces"`
+		}{
+			DC:        dc,
+			Instances: make(map[string]jsonInstance, len(fleet.Instances)),
+			Breakdown: fleet.PowerBreakdown(),
+			Traces:    make(map[string]timeseries.Series, len(fleet.Instances)),
+		}
+		for _, inst := range fleet.Instances {
+			doc.Instances[inst.ID] = jsonInstance{Service: inst.Service, Class: inst.Class.String()}
+			doc.Traces[inst.ID] = inst.Trace
+		}
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		return enc.Encode(doc)
+	default:
+		return fmt.Errorf("unknown format %q (want csv, json or fleet)", format)
+	}
+}
+
+type jsonInstance struct {
+	Service string `json:"service"`
+	Class   string `json:"class"`
+}

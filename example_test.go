@@ -1,0 +1,48 @@
+package repro_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// The advertised three-call session: synthesize a datacenter, defragment
+// its placement, and reshape its power profile.
+func Example() {
+	cfg, err := repro.StandardDatacenter(repro.DC3, 1)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Gen.Step = time.Hour
+	fleet, tree, err := repro.BuildDatacenter(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	fw := repro.New(repro.Config{
+		TopServices: 8,
+		Seed:        1,
+		Baseline:    repro.ObliviousBaseline(cfg.BaselineMix),
+	})
+	pr, err := fw.Optimize(fleet, tree)
+	if err != nil {
+		panic(err)
+	}
+	rr, err := fw.Reshape(fleet, pr)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("fleet placed:", len(fleet.Instances) == pr.OptimizedTree.InstanceCount())
+	fmt.Println("leaf peaks reduced:", pr.RPPReductionPct > 0)
+	fmt.Println("conversion adds batch throughput:", rr.ConvImp.BatchPct > 0)
+	fmt.Println("throttle/boost adds LC capacity:", rr.TBImp.LCPct > rr.ConvImp.LCPct)
+	fmt.Println("QoS kept:", rr.ThrottleBoost.QoSViolations == 0)
+	// Output:
+	// fleet placed: true
+	// leaf peaks reduced: true
+	// conversion adds batch throughput: true
+	// throttle/boost adds LC capacity: true
+	// QoS kept: true
+}

@@ -1,0 +1,94 @@
+// Drift study: the §3.6 scenario. A datacenter is optimally placed, then
+// user access patterns shift over the following weeks (half the front-end
+// shards drift two hours later). The continuous monitor watches per-leaf
+// asynchrony scores and sum-of-peaks on fresh telemetry, detects the
+// degradation, and repairs it with incremental swaps instead of a full
+// re-placement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/powertree"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg, err := repro.StandardDatacenter(repro.DC2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Gen.Step = 30 * time.Minute
+	fleet, tree, err := repro.BuildDatacenter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := core.New(core.Config{TopServices: 8, Seed: 1,
+		Baseline: placement.Oblivious{MixFraction: cfg.BaselineMix}})
+	pr, err := fw.Optimize(fleet, tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial placement: RPP peak reduction %.2f%% vs oblivious\n\n", pr.RPPReductionPct)
+
+	// Weeks pass; access patterns shift: half of every LC service's shards
+	// now peak two hours later (a regional mix change).
+	profiles := workload.StandardProfiles()
+	weekLen := int(7 * 24 * time.Hour / cfg.Gen.Step)
+	drifted := make(map[string]timeseries.Series, len(fleet.Instances))
+	start := fleet.Instances[0].Trace.Start
+	for i, inst := range fleet.Instances {
+		params := inst.Params
+		if inst.Class == workload.LatencyCritical && i%2 == 0 {
+			params.PhaseShiftHours += 2
+		}
+		drifted[inst.ID] = workload.RenderTrace(profiles[inst.Service], params, start, cfg.Gen.Step, weekLen)
+	}
+
+	traceFn := placement.TraceFn(workload.SubPowerFn(drifted))
+	powerFn := powertree.PowerFn(workload.SubPowerFn(drifted))
+
+	sum0, err := pr.OptimizedTree.SumOfPeaks(powertree.RPP, powerFn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scores, err := placement.LevelAsynchrony(pr.OptimizedTree, powertree.RPP, traceFn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 1e18
+	for _, s := range scores {
+		if s < worst {
+			worst = s
+		}
+	}
+	fmt.Printf("after drift: sum of leaf peaks %.0f, worst leaf asynchrony %.3f\n", sum0, worst)
+
+	// The monitor reacts: a worst score below the floor triggers remapping.
+	rep, err := fw.Adapt(pr.OptimizedTree, drifted, worst+0.1, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monitor: worst node %s (score %.3f), applied %d swaps\n",
+		rep.WorstNode, rep.WorstScore, len(rep.Swaps))
+	for i, sw := range rep.Swaps {
+		if i == 4 {
+			fmt.Printf("  … %d more\n", len(rep.Swaps)-4)
+			break
+		}
+		fmt.Printf("  swap %s <-> %s (gains %.3f / %.3f)\n", sw.InstanceA, sw.InstanceB, sw.GainA, sw.GainB)
+	}
+
+	sum1, err := pr.OptimizedTree.SumOfPeaks(powertree.RPP, powerFn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter remapping: sum of leaf peaks %.0f (%.2f%% recovered)\n",
+		sum1, 100*(sum0-sum1)/sum0)
+}

@@ -1,0 +1,97 @@
+// Reshaping study: the Fig. 12/Fig. 13 experiment. Drives the discrete-time
+// datacenter simulator directly — baseline fleet, LC-pinned extra servers,
+// history-based server conversion, and proactive throttling/boosting — and
+// prints the per-phase behaviour and the throughput improvements.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/reshape"
+	"repro/internal/sim"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		nLC    = 120 // original latency-critical servers
+		nBatch = 80  // batch tier
+		nConv  = 15  // conversion pool (≈12.5% unlocked headroom)
+		nExtra = 6   // throttle-enabled extra pool
+		lconv  = 0.85
+	)
+	start := time.Date(2016, 8, 8, 0, 0, 0, 0, time.UTC)
+	prof := workload.StandardProfiles()["frontend"]
+	week := workload.LoadTrace(prof, start, 30*time.Minute, 7*48, 7)
+
+	lcModel := sim.ServerModel{Idle: 90, Peak: 300}
+	batchModel := sim.ServerModel{Idle: 140, Peak: 310}
+	base := sim.Config{
+		NLC: nLC, NBatch: nBatch,
+		LCServer: lcModel, BatchServer: batchModel,
+		Freq:   sim.DefaultDVFS,
+		Budget: float64(nLC+nConv+nExtra)*lcModel.Peak + float64(nBatch)*batchModel.Peak*1.1,
+		Lconv:  lconv, QoSKnee: 0.9,
+		BatchWorkCap:  1.1,
+		ConvIdlePower: 0.3 * batchModel.Idle,
+	}
+
+	run := func(name string, nC, nE, peakServers int, policy sim.Policy) *sim.Result {
+		cfg := base
+		cfg.NConv, cfg.NThrottleConv = nC, nE
+		cfg.LCLoad = week.Scale(float64(peakServers) * lconv)
+		cfg.Policy = policy
+		res, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if res.OverBudgetSteps > 0 || res.QoSViolations > 0 {
+			log.Fatalf("%s: unsafe run: %+v", name, res)
+		}
+		return res
+	}
+
+	baseline := run("baseline", 0, 0, nLC, reshape.StaticLC{})
+	static := run("static", nConv, 0, nLC+nConv, reshape.StaticLC{Conv: nConv})
+	conv := run("conversion", nConv, 0, nLC+nConv,
+		reshape.Conversion{NLC: nLC, Pool: nConv, Lconv: lconv})
+	tb := run("throttle-boost", nConv, nExtra, nLC+nConv+nExtra,
+		&reshape.ThrottleBoost{NLC: nLC, NBatch: nBatch, Pool: nConv, ExtraPool: nExtra, Lconv: lconv})
+
+	fmt.Println("reshaping study — 1 week, 30-minute steps")
+	fmt.Printf("fleet: %d LC + %d Batch, conversion pool %d (+%d throttle-enabled)\n\n",
+		nLC, nBatch, nConv, nExtra)
+
+	fmt.Println("Fig. 12 view — Tuesday, per-6h samples (conversion policy):")
+	fmt.Println("  hour  per-LC-load  batch-work  lc-served")
+	day := 48 // steps per day
+	for _, h := range []int{0, 6, 12, 15, 18} {
+		i := day + h*2
+		fmt.Printf("  %02d:00    %6.3f     %7.1f    %7.1f\n",
+			h, conv.PerLCServerLoad.Values[i], conv.BatchThroughput.Values[i], conv.LCThroughput.Values[i])
+	}
+
+	fmt.Println("\nFig. 13 view — throughput improvement over the baseline fleet:")
+	for _, row := range []struct {
+		name string
+		res  *sim.Result
+	}{
+		{"LC-pinned extras", static},
+		{"server conversion", conv},
+		{"+ throttle & boost", tb},
+	} {
+		imp := sim.Compare(baseline, row.res)
+		fmt.Printf("  %-20s LC %+6.2f%%   Batch %+6.2f%%\n", row.name, imp.LCPct, imp.BatchPct)
+	}
+
+	budget := baseline.Power.Peak() * 1.02
+	slack := func(r *sim.Result) float64 {
+		s, _ := timeseries.Sum(r.Power)
+		return budget*float64(r.Power.Len()) - s.Total()
+	}
+	fmt.Printf("\nenergy slack reduction (vs %.0f W peak-provisioned budget): %.1f%%\n",
+		budget, 100*(slack(baseline)-slack(tb))/slack(baseline))
+}

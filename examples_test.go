@@ -1,0 +1,41 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end-to-end, guaranteeing the
+// documented entry points keep working. Skipped under -short (each example
+// compiles and runs a small pipeline).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are exercised in full test runs only")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected ≥3 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", e.Name()))
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", e.Name(), err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", e.Name())
+			}
+		})
+	}
+}

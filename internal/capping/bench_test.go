@@ -1,0 +1,45 @@
+package capping
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/powertree"
+)
+
+func BenchmarkControllerStep(b *testing.B) {
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "bench", SuitesPerDC: 2, MSBsPerSuite: 2, SBsPerMSB: 2, RPPsPerSB: 2,
+		LeafBudget: 1000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	states := make(map[string]InstanceState)
+	for i, leaf := range tree.Leaves() {
+		for k := 0; k < 12; k++ {
+			id := leaf.Name + "/i" + string(rune('a'+k))
+			if err := leaf.Attach(id); err != nil {
+				b.Fatal(err)
+			}
+			p := rng.Float64() * 120
+			states[id] = InstanceState{Power: p, MinPower: p * 0.4, Priority: Priority(i % 3)}
+		}
+	}
+	ctrl, err := New(tree, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	read := func(id string) (InstanceState, bool) {
+		st, ok := states[id]
+		return st, ok
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ctrl.Step(read); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import "testing"
+
+func BenchmarkKMeans(b *testing.B) {
+	points, _ := blobs(6, 100, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(points, Config{K: 6, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBalancedKMeans(b *testing.B) {
+	points, _ := blobs(6, 100, 8, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BalancedKMeans(points, Config{K: 6, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSilhouette(b *testing.B) {
+	points, labels := blobs(4, 50, 6, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Silhouette(points, labels, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTSNE(b *testing.B) {
+	points, _ := blobs(3, 30, 8, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TSNE(points, TSNEConfig{Iterations: 100, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// ElbowPoint is one k of an elbow sweep.
+type ElbowPoint struct {
+	// K is the cluster count.
+	K int
+	// Inertia is the within-cluster sum of squares at that k.
+	Inertia float64
+}
+
+// ElbowSweep runs k-means for each k in [kMin, kMax] and returns the
+// inertia curve — the standard input to choosing h, the number of
+// synchronous groups the placement step deals out (§3.5 fixes h as a
+// multiple of the child count; the sweep shows how much structure the score
+// space actually has).
+func ElbowSweep(points [][]float64, kMin, kMax int, cfg Config) ([]ElbowPoint, error) {
+	if kMin < 1 || kMax < kMin {
+		return nil, fmt.Errorf("cluster: bad k range [%d, %d]", kMin, kMax)
+	}
+	if kMax > len(points) {
+		kMax = len(points)
+	}
+	if kMax < kMin {
+		return nil, ErrBadK
+	}
+	out := make([]ElbowPoint, 0, kMax-kMin+1)
+	for k := kMin; k <= kMax; k++ {
+		c := cfg
+		c.K = k
+		res, err := KMeans(points, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ElbowPoint{K: k, Inertia: res.Inertia})
+	}
+	return out, nil
+}
+
+// ChooseK picks the elbow of an inertia curve by maximum distance to the
+// chord between the first and last points — a robust, parameter-free elbow
+// criterion. Returns the chosen k.
+func ChooseK(curve []ElbowPoint) (int, error) {
+	if len(curve) == 0 {
+		return 0, ErrNoPoints
+	}
+	if len(curve) <= 2 {
+		return curve[0].K, nil
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	dx := float64(last.K - first.K)
+	dy := last.Inertia - first.Inertia
+	norm := dx*dx + dy*dy
+	bestK, bestD := first.K, -1.0
+	for _, p := range curve {
+		// Perpendicular distance from p to the chord.
+		num := dy*float64(p.K) - dx*p.Inertia + dx*first.Inertia - dy*float64(first.K)
+		if num < 0 {
+			num = -num
+		}
+		d := num
+		if norm > 0 {
+			d = num / math.Sqrt(norm)
+		}
+		if d > bestD {
+			bestD, bestK = d, p.K
+		}
+	}
+	return bestK, nil
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// orthogonalBlobs places k blobs at axis-aligned, non-collinear centers so
+// the inertia curve has a crisp elbow at k.
+func orthogonalBlobs(k, perCluster, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var points [][]float64
+	for c := 0; c < k; c++ {
+		center := make([]float64, dim)
+		center[c%dim] = 30 * float64(1+c/dim)
+		for i := 0; i < perCluster; i++ {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = center[d] + rng.NormFloat64()*0.5
+			}
+			points = append(points, p)
+		}
+	}
+	return points
+}
+
+func TestElbowSweep(t *testing.T) {
+	points := orthogonalBlobs(4, 20, 3, 8)
+	curve, err := ElbowSweep(points, 1, 8, Config{Seed: 1, Restarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 8 {
+		t.Fatalf("curve len = %d", len(curve))
+	}
+	// Inertia must be (weakly) decreasing in k.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Inertia > curve[i-1].Inertia*1.05 {
+			t.Fatalf("inertia not decreasing: %+v", curve)
+		}
+	}
+	// The elbow of 4 well-separated blobs is at or near k=4.
+	k, err := ChooseK(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 3 || k > 5 {
+		t.Fatalf("elbow k = %d, want ≈4", k)
+	}
+}
+
+func TestElbowSweepErrors(t *testing.T) {
+	points, _ := blobs(2, 5, 2, 1)
+	if _, err := ElbowSweep(points, 0, 3, Config{}); err == nil {
+		t.Fatal("kMin 0 must error")
+	}
+	if _, err := ElbowSweep(points, 5, 3, Config{}); err == nil {
+		t.Fatal("kMax < kMin must error")
+	}
+	// kMax clamps to the point count.
+	curve, err := ElbowSweep(points, 1, 100, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[len(curve)-1].K != 10 {
+		t.Fatalf("kMax clamp: %+v", curve[len(curve)-1])
+	}
+}
+
+func TestChooseKEdgeCases(t *testing.T) {
+	if _, err := ChooseK(nil); err != ErrNoPoints {
+		t.Fatalf("empty curve: %v", err)
+	}
+	k, err := ChooseK([]ElbowPoint{{K: 3, Inertia: 5}})
+	if err != nil || k != 3 {
+		t.Fatalf("single point: %d %v", k, err)
+	}
+	k, err = ChooseK([]ElbowPoint{{K: 1, Inertia: 10}, {K: 2, Inertia: 1}})
+	if err != nil || k != 1 {
+		t.Fatalf("two points: %d %v", k, err)
+	}
+}

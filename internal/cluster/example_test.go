@@ -1,0 +1,28 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Balanced k-means produces the equal-size synchronous groups the placement
+// step deals across power nodes (§3.5).
+func ExampleBalancedKMeans() {
+	// Nine points in three obvious groups along a line.
+	points := [][]float64{
+		{0.0}, {0.1}, {0.2},
+		{10.0}, {10.1}, {10.2},
+		{20.0}, {20.1}, {20.2},
+	}
+	res, err := cluster.BalancedKMeans(points, cluster.Config{K: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sizes:", res.Sizes[0], res.Sizes[1], res.Sizes[2])
+	same := res.Assign[0] == res.Assign[1] && res.Assign[1] == res.Assign[2]
+	fmt.Println("first group intact:", same)
+	// Output:
+	// sizes: 3 3 3
+	// first group intact: true
+}

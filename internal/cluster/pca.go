@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PCA projects points onto their top-2 principal components — the linear,
+// deterministic alternative to t-SNE for Fig. 8-style views of the
+// asynchrony-score space. Computed with power iteration on the covariance
+// matrix plus deflation; exact enough for visualization at |B| ≤ a few
+// dozen dimensions.
+func PCA(points [][]float64, seed int64) ([][2]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, ErrRagged
+		}
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("cluster: PCA needs ≥1 dimension")
+	}
+	// Center.
+	mean := make([]float64, dim)
+	for _, p := range points {
+		for d, v := range p {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(n)
+	}
+	centered := make([][]float64, n)
+	for i, p := range points {
+		c := make([]float64, dim)
+		for d, v := range p {
+			c[d] = v - mean[d]
+		}
+		centered[i] = c
+	}
+	// Covariance.
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, c := range centered {
+		for i := 0; i < dim; i++ {
+			for j := i; j < dim; j++ {
+				cov[i][j] += c[i] * c[j]
+			}
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] /= float64(n)
+			cov[j][i] = cov[i][j]
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	components := make([][]float64, 0, 2)
+	work := cov
+	for c := 0; c < 2 && c < dim; c++ {
+		vec, lambda := powerIteration(work, rng)
+		components = append(components, vec)
+		// Deflate: work -= λ·vvᵀ.
+		next := make([][]float64, dim)
+		for i := range next {
+			next[i] = make([]float64, dim)
+			for j := range next[i] {
+				next[i][j] = work[i][j] - lambda*vec[i]*vec[j]
+			}
+		}
+		work = next
+	}
+	out := make([][2]float64, n)
+	for i, p := range centered {
+		for c, vec := range components {
+			var dot float64
+			for d := range p {
+				dot += p[d] * vec[d]
+			}
+			out[i][c] = dot
+		}
+	}
+	return out, nil
+}
+
+// powerIteration returns the dominant eigenvector and eigenvalue of a
+// symmetric PSD matrix.
+func powerIteration(m [][]float64, rng *rand.Rand) ([]float64, float64) {
+	dim := len(m)
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	normalize(v)
+	tmp := make([]float64, dim)
+	var lambda float64
+	for iter := 0; iter < 200; iter++ {
+		for i := range tmp {
+			var s float64
+			for j := range v {
+				s += m[i][j] * v[j]
+			}
+			tmp[i] = s
+		}
+		lambda = norm(tmp)
+		if lambda < 1e-12 {
+			// Degenerate (zero-variance) direction; return the current v.
+			return v, 0
+		}
+		prev := append([]float64(nil), v...)
+		copy(v, tmp)
+		normalize(v)
+		// Converged when direction stabilizes (up to sign).
+		var dot float64
+		for i := range v {
+			dot += v[i] * prev[i]
+		}
+		if math.Abs(math.Abs(dot)-1) < 1e-12 {
+			break
+		}
+	}
+	return v, lambda
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPCARecoverDominantDirection(t *testing.T) {
+	// Points along the (1, 1, 0) diagonal with small orthogonal noise: PC1
+	// must capture far more variance than PC2.
+	rng := rand.New(rand.NewSource(4))
+	points := make([][]float64, 200)
+	for i := range points {
+		s := rng.NormFloat64() * 10
+		points[i] = []float64{s + rng.NormFloat64()*0.1, s + rng.NormFloat64()*0.1, rng.NormFloat64() * 0.1}
+	}
+	emb, err := PCA(points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var var1, var2 float64
+	for _, p := range emb {
+		var1 += p[0] * p[0]
+		var2 += p[1] * p[1]
+	}
+	if var1 < 50*var2 {
+		t.Fatalf("PC1 variance %v should dwarf PC2 %v", var1, var2)
+	}
+}
+
+func TestPCASeparatesBlobs(t *testing.T) {
+	points, labels := blobs(2, 25, 5, 6)
+	emb, err := PCA(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two blobs must separate along PC1.
+	var mean0, mean1 float64
+	var n0, n1 int
+	for i, p := range emb {
+		if labels[i] == 0 {
+			mean0 += p[0]
+			n0++
+		} else {
+			mean1 += p[0]
+			n1++
+		}
+	}
+	mean0 /= float64(n0)
+	mean1 /= float64(n1)
+	if math.Abs(mean0-mean1) < 5 {
+		t.Fatalf("blobs not separated on PC1: %v vs %v", mean0, mean1)
+	}
+}
+
+func TestPCADeterministic(t *testing.T) {
+	points, _ := blobs(3, 10, 4, 9)
+	a, err := PCA(points, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PCA(points, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the projection")
+		}
+	}
+}
+
+func TestPCAEdgeCases(t *testing.T) {
+	if _, err := PCA(nil, 1); err != ErrNoPoints {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := PCA([][]float64{{1}, {1, 2}}, 1); err != ErrRagged {
+		t.Fatalf("ragged: %v", err)
+	}
+	// 1-D input: PC2 is zero everywhere.
+	emb, err := PCA([][]float64{{1}, {2}, {3}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range emb {
+		if p[1] != 0 {
+			t.Fatalf("1-D input must have zero PC2: %v", emb)
+		}
+	}
+	// Identical points: zero-variance input stays finite.
+	same, err := PCA([][]float64{{2, 2}, {2, 2}, {2, 2}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range same {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+			t.Fatal("degenerate input produced NaN")
+		}
+	}
+}

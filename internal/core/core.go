@@ -1,0 +1,459 @@
+// Package core is SmoothOperator itself: the end-to-end framework of §3
+// (Fig. 7) and §4. It wires the substrates together:
+//
+//  1. collect instance power traces and build averaged I-traces (Eq. 3/4),
+//  2. extract S-traces for the top power-consumer services (Eq. 5),
+//  3. compute asynchrony-score vectors (Eq. 6/7),
+//  4. cluster instances and place them across the power tree (§3.5),
+//  5. evaluate peak reduction, headroom and slack on a held-out test week,
+//  6. exploit unlocked headroom with dynamic power profile reshaping (§4),
+//  7. keep monitoring and incrementally remapping as workload drifts (§3.6).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/forecast"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/powertree"
+	"repro/internal/reshape"
+	"repro/internal/sim"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// Config tunes the framework.
+type Config struct {
+	// TopServices is |B|, the S-trace basis size. 0 means 10.
+	TopServices int
+	// ClustersPerChild is h/q for the placement clustering. 0 means 2.
+	ClustersPerChild int
+	// TrainWeeks is how many leading weeks form the training data. 0 means 2
+	// (the paper trains on two weeks and tests on the third).
+	TrainWeeks int
+	// Seed fixes all randomized stages.
+	Seed int64
+	// OffPeakFraction classifies readings below this fraction of peak as
+	// off-peak for slack reporting. 0 means 0.85.
+	OffPeakFraction float64
+	// Baseline is the placement being displaced; nil means the oblivious
+	// service-grouped production baseline.
+	Baseline placement.Placer
+	// Lconv overrides the learned conversion threshold; 0 means learn it.
+	Lconv float64
+	// QoSKnee is the per-server load where QoS degrades. 0 means 0.9.
+	QoSKnee float64
+	// Latency, when non-zero, attaches a queueing latency model to reshape
+	// evaluation: ReshapeResult gains per-strategy latency reports, and the
+	// QoS knee is derived from the latency SLA when one is set.
+	Latency sim.LatencyModel
+	// PlaceOnForecast, when true, drives the workload-aware placement with
+	// next-week forecast traces (seasonal EWMA + damped trend) instead of
+	// the averaged I-traces — proactive planning for trending fleets. The
+	// baseline placement and all evaluation stay on the standard data.
+	PlaceOnForecast bool
+}
+
+func (c Config) topServices() int {
+	if c.TopServices <= 0 {
+		return 10
+	}
+	return c.TopServices
+}
+
+func (c Config) trainWeeks() int {
+	if c.TrainWeeks <= 0 {
+		return 2
+	}
+	return c.TrainWeeks
+}
+
+func (c Config) offPeak() float64 {
+	if c.OffPeakFraction <= 0 {
+		return 0.85
+	}
+	return c.OffPeakFraction
+}
+
+func (c Config) qosKnee() float64 {
+	if c.QoSKnee > 0 {
+		return c.QoSKnee
+	}
+	// Derive the knee from the latency SLA when a model is configured:
+	// the highest utilization whose p99 proxy still meets the budget.
+	if c.Latency.ServiceTimeMs > 0 && c.Latency.SLAms > 0 {
+		if rho := c.Latency.MaxUtilization(); rho > 0 {
+			return rho
+		}
+	}
+	return 0.9
+}
+
+func (c Config) baseline() placement.Placer {
+	if c.Baseline != nil {
+		return c.Baseline
+	}
+	return placement.Oblivious{}
+}
+
+// Framework is a configured SmoothOperator instance.
+type Framework struct {
+	cfg Config
+}
+
+// New returns a framework with the given configuration.
+func New(cfg Config) *Framework { return &Framework{cfg: cfg} }
+
+// ErrFleetTooShort is returned when the fleet's traces don't cover training
+// plus one test week.
+var ErrFleetTooShort = errors.New("core: fleet traces shorter than train+test window")
+
+// PlacementResult is the outcome of the placement pipeline on one fleet.
+type PlacementResult struct {
+	// BaselineTree and OptimizedTree host the same fleet under the baseline
+	// and the workload-aware placement.
+	BaselineTree, OptimizedTree *powertree.Node
+	// TestTraces is the held-out test-week trace per instance; all reports
+	// are computed against it.
+	TestTraces map[string]timeseries.Series
+	// AveragedITraces is the training embedding input (Eq. 4).
+	AveragedITraces map[string]timeseries.Series
+	// PeakReports is the per-level peak reduction (Fig. 10).
+	PeakReports []metrics.LevelPeakReport
+	// RPPReductionPct is the leaf-level peak reduction — the headline
+	// number that converts into extra hostable servers.
+	RPPReductionPct float64
+	// BaselineLeafScores and OptimizedLeafScores are per-leaf asynchrony
+	// scores under each placement.
+	BaselineLeafScores, OptimizedLeafScores map[string]float64
+}
+
+// Optimize runs the placement pipeline: averaged I-traces from the training
+// weeks drive the workload-aware placement; the baseline placement is built
+// from the same data; both are evaluated on the held-out test week.
+// The supplied tree must be empty; it is never modified (clones are).
+func (f *Framework) Optimize(fleet *workload.Fleet, tree *powertree.Node) (*PlacementResult, error) {
+	trainWeeks := f.cfg.trainWeeks()
+	avg, err := fleet.AveragedITraces(trainWeeks)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFleetTooShort, err)
+	}
+	test, err := fleet.SplitWeeks(trainWeeks) // first week after training
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFleetTooShort, err)
+	}
+
+	instances := make([]placement.Instance, len(fleet.Instances))
+	for i, inst := range fleet.Instances {
+		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
+	}
+	trainFn := placement.TraceFn(workload.SubPowerFn(avg))
+
+	baseTree := tree.Clone()
+	if err := f.cfg.baseline().Place(baseTree, instances, trainFn); err != nil {
+		return nil, fmt.Errorf("core: baseline placement: %w", err)
+	}
+	placeFn := trainFn
+	if f.cfg.PlaceOnForecast {
+		weekLen := len(anyTrace(avg).Values)
+		fc := make(map[string]timeseries.Series, len(fleet.Instances))
+		for _, inst := range fleet.Instances {
+			pred, err := forecast.NextWeek(inst.Trace.Slice(0, trainWeeks*weekLen), forecast.Config{Alpha: 0.5, TrendDamping: 0.5})
+			if err != nil {
+				return nil, fmt.Errorf("core: forecasting %q: %w", inst.ID, err)
+			}
+			fc[inst.ID] = pred
+		}
+		placeFn = placement.TraceFn(workload.SubPowerFn(fc))
+	}
+	optTree := tree.Clone()
+	placer := placement.WorkloadAware{
+		TopServices:      f.cfg.topServices(),
+		ClustersPerChild: f.cfg.ClustersPerChild,
+		Seed:             f.cfg.Seed,
+	}
+	if err := placer.Place(optTree, instances, placeFn); err != nil {
+		return nil, fmt.Errorf("core: workload-aware placement: %w", err)
+	}
+
+	testFn := powertree.PowerFn(workload.SubPowerFn(test))
+	reports, err := metrics.PeakReduction(baseTree, optTree, testFn)
+	if err != nil {
+		return nil, err
+	}
+	res := &PlacementResult{
+		BaselineTree:    baseTree,
+		OptimizedTree:   optTree,
+		TestTraces:      test,
+		AveragedITraces: avg,
+		PeakReports:     reports,
+	}
+	for _, r := range reports {
+		if r.Level == powertree.RPP {
+			res.RPPReductionPct = r.ReductionPct
+		}
+	}
+	res.BaselineLeafScores, err = placement.LevelAsynchrony(baseTree, powertree.RPP, placement.TraceFn(workload.SubPowerFn(test)))
+	if err != nil {
+		return nil, err
+	}
+	res.OptimizedLeafScores, err = placement.LevelAsynchrony(optTree, powertree.RPP, placement.TraceFn(workload.SubPowerFn(test)))
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ReshapeResult is the outcome of dynamic power profile reshaping on top of
+// an optimized placement (§4, Fig. 12–14).
+type ReshapeResult struct {
+	// Pools: original LC and Batch populations, the conversion pool sized
+	// from unlocked headroom, and the throttle-enabled extra pool.
+	NLC, NBatch, NConv, NThrottleConv int
+	// Lconv is the conversion threshold used.
+	Lconv float64
+	// Baseline is the pre-SmoothOperator run (original fleet, original
+	// traffic). StaticLC, Conversion and ThrottleBoost are the three §4
+	// strategies serving grown traffic.
+	Baseline, StaticLC, Conversion, ThrottleBoost *sim.Result
+	// StaticImp, ConvImp and TBImp compare each strategy to Baseline
+	// (Fig. 13's bars).
+	StaticImp, ConvImp, TBImp sim.Improvement
+	// SlackBudget is the peak-provisioned budget slack is measured against.
+	SlackBudget float64
+	// AvgSlackReductionPct and OffPeakSlackReductionPct compare
+	// ThrottleBoost to Baseline (Fig. 14's bars).
+	AvgSlackReductionPct, OffPeakSlackReductionPct float64
+	// BaselineLatency and TBLatency are present when the framework was
+	// configured with a latency model: the QoS story in milliseconds.
+	BaselineLatency, TBLatency *sim.LatencyReport
+}
+
+// Reshape sizes a conversion-server fleet from the placement's unlocked
+// headroom and simulates the three §4 strategies over the test week.
+func (f *Framework) Reshape(fleet *workload.Fleet, pr *PlacementResult) (*ReshapeResult, error) {
+	if pr == nil {
+		return nil, errors.New("core: nil placement result")
+	}
+	profiles := fleet.Profiles
+	// The batch-capable tier — servers whose work is throughput-oriented and
+	// deferrable — covers the Batch class plus the dev/storage long tail
+	// that harvesting runtimes (the paper's [53]) use for spare-cycle work.
+	nLC, nBatch, nThrottleable := 0, 0, 0
+	for _, inst := range fleet.Instances {
+		switch inst.Class {
+		case workload.LatencyCritical:
+			nLC++
+		case workload.Batch:
+			nBatch++
+			nThrottleable++
+		case workload.Dev, workload.Storage:
+			nBatch++
+		}
+	}
+	if nLC == 0 {
+		return nil, errors.New("core: fleet has no latency-critical instances")
+	}
+
+	// Headroom fraction unlocked at the leaves sizes the conversion pool:
+	// "we are able to host up to 13% more machines".
+	headFrac := pr.RPPReductionPct / 100
+	if headFrac < 0 {
+		headFrac = 0
+	}
+	// Round up: any positive unlocked headroom hosts at least one server
+	// (small test fleets would otherwise round the pool to zero).
+	nConv := int(math.Ceil(headFrac * float64(nLC)))
+
+	// The LC service's load trace over training and test windows, in units
+	// of one server's guarded capacity. The original fleet is assumed
+	// provisioned to run at the guarded level at its observed peak.
+	lcService := dominantLCService(fleet)
+	prof := profiles[lcService]
+	anyTest := anyTrace(pr.TestTraces)
+	steps := anyTest.Len()
+	trainLoad := workload.LoadTrace(prof, anyTest.Start.AddDate(0, 0, -7*f.cfg.trainWeeks()), anyTest.Step, steps*f.cfg.trainWeeks(), f.cfg.Seed+1)
+	testLoad := workload.LoadTrace(prof, anyTest.Start, anyTest.Step, steps, f.cfg.Seed+2)
+
+	qosKnee := f.cfg.qosKnee()
+	lconv := f.cfg.Lconv
+	if lconv == 0 {
+		// Per-server load in training: activity × guarded level (the fleet is
+		// sized so that peak activity = guarded load).
+		perServer := trainLoad.Scale(qosKnee * 0.95)
+		var err error
+		lconv, err = reshape.LearnThreshold(perServer, qosKnee, 0.02)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	lcModel := sim.ServerModel{Idle: prof.IdlePower, Peak: prof.PeakPower}
+	batchModel := sim.ServerModel{Idle: 140, Peak: 310}
+	if bp, ok := profiles["hadoop"]; ok {
+		batchModel = sim.ServerModel{Idle: bp.IdlePower, Peak: bp.PeakPower}
+	}
+
+	// The throttle-enabled extra pool (e_th) is sized by physics: throttling
+	// the Batch-class servers to the floor frequency frees power that hosts
+	// extra LC-mode servers during the peak. DC3's small throttleable share
+	// is exactly why its extra LC gain is small (§5.2.2). The pool is capped
+	// at 10% of the LC fleet: beyond that, throttling would have to run so
+	// long the boost repayment never catches up.
+	freq := sim.DefaultDVFS
+	freedPerBatch := freq.Power(batchModel, 1) - freq.Power(batchModel, 0.7)
+	nExtra := 0
+	if nConv > 0 && nThrottleable > 0 {
+		nExtra = int(math.Floor(float64(nThrottleable) * freedPerBatch / lcModel.Peak))
+		if cap := nLC / 10; nExtra > cap {
+			nExtra = cap
+		}
+	}
+
+	run := func(nConvRun, nExtraRun int, peakServers int, policy sim.Policy) (*sim.Result, error) {
+		load := testLoad.Scale(float64(peakServers) * lconv)
+		return sim.Run(sim.Config{
+			LCLoad: load,
+			NLC:    nLC, NBatch: nBatch,
+			NConv: nConvRun, NThrottleConv: nExtraRun,
+			LCServer: lcModel, BatchServer: batchModel,
+			Freq:   sim.DefaultDVFS,
+			Budget: budgetFor(nLC+nConv+nExtra, nBatch, lcModel, batchModel),
+			Lconv:  lconv, QoSKnee: qosKnee,
+			// Batch queues hold ~10% more work than the fleet's nominal
+			// rate; helpers beyond that idle. Small Batch tiers (DC3) are
+			// therefore the binding constraint on reshaping gains (§5.2.2).
+			BatchWorkCap: 1.1,
+			// Parked conversion servers deep-sleep at ~30% of idle; their
+			// state lives on disaggregated storage so compute can power down.
+			ConvIdlePower: 0.3 * batchModel.Idle,
+			Policy:        policy,
+		})
+	}
+
+	baseline, err := run(0, 0, nLC, reshape.StaticLC{})
+	if err != nil {
+		return nil, err
+	}
+	static, err := run(nConv, 0, nLC+nConv, reshape.StaticLC{Conv: nConv})
+	if err != nil {
+		return nil, err
+	}
+	conv, err := run(nConv, 0, nLC+nConv, reshape.Conversion{NLC: nLC, Pool: nConv, Lconv: lconv})
+	if err != nil {
+		return nil, err
+	}
+	tb, err := run(nConv, nExtra, nLC+nConv+nExtra, &reshape.ThrottleBoost{NLC: nLC, NBatch: nThrottleable, Pool: nConv, ExtraPool: nExtra, Lconv: lconv})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ReshapeResult{
+		NLC: nLC, NBatch: nBatch, NConv: nConv, NThrottleConv: nExtra,
+		Lconv:    lconv,
+		Baseline: baseline, StaticLC: static, Conversion: conv, ThrottleBoost: tb,
+		StaticImp: sim.Compare(baseline, static),
+		ConvImp:   sim.Compare(baseline, conv),
+		TBImp:     sim.Compare(baseline, tb),
+	}
+
+	// Slack is measured against a peak-provisioned budget (Challenge 1:
+	// budgets are sized for the pre-optimization peak).
+	res.SlackBudget = baseline.Power.Peak() * 1.02
+	baseAvg, err := metrics.AverageSlack(baseline.Power, res.SlackBudget)
+	if err != nil {
+		return nil, err
+	}
+	tbAvg, err := metrics.AverageSlack(tb.Power, res.SlackBudget)
+	if err != nil {
+		return nil, err
+	}
+	res.AvgSlackReductionPct = 100 * metrics.Reduction(baseAvg, tbAvg)
+	baseOff, errB := metrics.OffPeakSlack(baseline.Power, res.SlackBudget, f.cfg.offPeak())
+	tbOff, errT := metrics.OffPeakSlack(tb.Power, res.SlackBudget, f.cfg.offPeak())
+	if errB == nil && errT == nil {
+		res.OffPeakSlackReductionPct = 100 * metrics.Reduction(baseOff, tbOff)
+	}
+	if f.cfg.Latency.ServiceTimeMs > 0 {
+		baseLat, err := sim.Latency(baseline, f.cfg.Latency)
+		if err != nil {
+			return nil, err
+		}
+		tbLat, err := sim.Latency(tb, f.cfg.Latency)
+		if err != nil {
+			return nil, err
+		}
+		res.BaselineLatency = &baseLat
+		res.TBLatency = &tbLat
+	}
+	return res, nil
+}
+
+// budgetFor provisions for the grown fleet at peak — the capping backstop
+// still guards pathological policies, but well-behaved runs fit.
+func budgetFor(nLC, nBatch int, lc, batch sim.ServerModel) float64 {
+	return float64(nLC)*lc.Peak + float64(nBatch)*batch.Peak*1.1
+}
+
+// dominantLCService returns the largest latency-critical power consumer.
+func dominantLCService(fleet *workload.Fleet) string {
+	for _, sp := range fleet.PowerBreakdown() {
+		if sp.Class == workload.LatencyCritical {
+			return sp.Service
+		}
+	}
+	// No LC service: fall back to the top consumer.
+	return fleet.PowerBreakdown()[0].Service
+}
+
+func anyTrace(m map[string]timeseries.Series) timeseries.Series {
+	for _, s := range m {
+		return s
+	}
+	return timeseries.Series{}
+}
+
+// DriftReport is what the continuous monitor (§3.6) observes.
+type DriftReport struct {
+	// WorstNode is the leaf with the lowest asynchrony score.
+	WorstNode string
+	// WorstScore is its score.
+	WorstScore float64
+	// SumOfPeaks is the current leaf-level sum of peaks.
+	SumOfPeaks float64
+	// Swaps applied by remapping (empty if none were needed).
+	Swaps []placement.Swap
+}
+
+// Adapt monitors a placed tree against fresh traces and applies incremental
+// swap remapping when fragmentation re-appears (§3.6). scoreFloor is the
+// asynchrony score below which a node is considered fragmented (1.0 disables
+// remapping only for perfectly synchronous nodes; the paper leaves the
+// trigger operational — 1.2–1.5 works well in practice).
+func (f *Framework) Adapt(tree *powertree.Node, fresh map[string]timeseries.Series, scoreFloor float64, maxSwaps int) (*DriftReport, error) {
+	traceFn := placement.TraceFn(workload.SubPowerFn(fresh))
+	scores, err := placement.LevelAsynchrony(tree, powertree.RPP, traceFn)
+	if err != nil {
+		return nil, err
+	}
+	rep := &DriftReport{WorstScore: math.Inf(1)}
+	for node, s := range scores {
+		if s < rep.WorstScore {
+			rep.WorstScore, rep.WorstNode = s, node
+		}
+	}
+	rep.SumOfPeaks, err = tree.SumOfPeaks(powertree.RPP, powertree.PowerFn(workload.SubPowerFn(fresh)))
+	if err != nil {
+		return nil, err
+	}
+	if rep.WorstScore < scoreFloor {
+		rep.Swaps, err = placement.Remap(tree, traceFn, placement.RemapConfig{MaxSwaps: maxSwaps})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// HTTPHandler exposes a runtime's state over HTTP for dashboards and
+// debugging:
+//
+//	GET /status   — placement summary: instance count, leaves, tick count
+//	GET /tree     — the placed power tree as JSON (powertree.Save format)
+//	GET /history  — drift reports from every tick
+//	GET /healthz  — liveness
+//
+// The handler is read-only; ingestion and ticking stay with the owner.
+func HTTPHandler(rt *Runtime) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		tree := rt.Tree()
+		status := struct {
+			Placed    bool      `json:"placed"`
+			Instances int       `json:"instances"`
+			Leaves    int       `json:"leaves"`
+			Ticks     int       `json:"ticks"`
+			LastTick  *tickView `json:"last_tick,omitempty"`
+			Time      time.Time `json:"time"`
+		}{
+			Placed:    rt.placed,
+			Instances: tree.InstanceCount(),
+			Leaves:    len(tree.Leaves()),
+			Ticks:     len(rt.history),
+			Time:      time.Now().UTC(),
+		}
+		if n := len(rt.history); n > 0 {
+			status.LastTick = newTickView(rt.history[n-1])
+		}
+		writeJSON(w, status)
+	})
+	mux.HandleFunc("/tree", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := rt.Tree().Save(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		views := make([]*tickView, len(rt.history))
+		for i, rep := range rt.history {
+			views[i] = newTickView(rep)
+		}
+		writeJSON(w, views)
+	})
+	return mux
+}
+
+// tickView is the wire form of a DriftReport.
+type tickView struct {
+	WorstNode  string   `json:"worst_node"`
+	WorstScore float64  `json:"worst_score"`
+	SumOfPeaks float64  `json:"sum_of_peaks"`
+	Swaps      int      `json:"swaps"`
+	SwappedIDs []string `json:"swapped_ids,omitempty"`
+}
+
+func newTickView(rep *DriftReport) *tickView {
+	v := &tickView{
+		WorstNode:  rep.WorstNode,
+		WorstScore: rep.WorstScore,
+		SumOfPeaks: rep.SumOfPeaks,
+		Swaps:      len(rep.Swaps),
+	}
+	for _, sw := range rep.Swaps {
+		v.SwappedIDs = append(v.SwappedIDs, sw.InstanceA, sw.InstanceB)
+	}
+	sort.Strings(v.SwappedIDs)
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

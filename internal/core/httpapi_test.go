@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/powertree"
+)
+
+func TestHTTPHandler(t *testing.T) {
+	rt, instances, _, trainEnd := runtimeFixture(t)
+	srv := httptest.NewServer(HTTPHandler(rt))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	// Liveness.
+	resp, body := get("/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// Status before bootstrap.
+	resp, body = get("/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	var status struct {
+		Placed    bool `json:"placed"`
+		Instances int  `json:"instances"`
+		Ticks     int  `json:"ticks"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Placed || status.Instances != 0 {
+		t.Fatalf("pre-bootstrap status: %+v", status)
+	}
+
+	// Bootstrap and tick, then re-read.
+	if err := rt.Bootstrap(instances, trainEnd, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Tick(trainEnd.Add(7*24*time.Hour), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get("/status")
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatal(err)
+	}
+	if !status.Placed || status.Instances != len(instances) || status.Ticks != 1 {
+		t.Fatalf("post-bootstrap status: %+v", status)
+	}
+
+	// Tree round-trips through the powertree codec.
+	resp, body = get("/tree")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tree: %d", resp.StatusCode)
+	}
+	tree, err := powertree.LoadTree(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := placement.Verify(tree, instances); err != nil {
+		t.Fatalf("served tree incomplete: %v", err)
+	}
+
+	// History lists the tick.
+	_, body = get("/history")
+	var views []struct {
+		WorstNode string `json:"worst_node"`
+		Swaps     int    `json:"swaps"`
+	}
+	if err := json.Unmarshal([]byte(body), &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || views[0].WorstNode == "" {
+		t.Fatalf("history: %+v", views)
+	}
+
+	// Non-GET methods are rejected.
+	post, err := http.Post(srv.URL+"/status", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status: %d", post.StatusCode)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/powertree"
+	"repro/internal/timeseries"
+	"repro/internal/tracestore"
+)
+
+// Runtime is SmoothOperator operated as a continuously-running service
+// (Fig. 7 plus §3.6): power telemetry streams into a trace store, an initial
+// workload-aware placement is bootstrapped from collected history, and a
+// periodic tick re-evaluates fragmentation on fresh data, remapping
+// incrementally when drift appears.
+type Runtime struct {
+	fw    *Framework
+	store *tracestore.Store
+	tree  *powertree.Node
+
+	// scoreFloor triggers remapping when any leaf's asynchrony score falls
+	// below it; maxSwaps bounds each repair.
+	scoreFloor float64
+	maxSwaps   int
+
+	placed  bool
+	history []*DriftReport
+}
+
+// RuntimeConfig tunes the runtime.
+type RuntimeConfig struct {
+	// ScoreFloor is the leaf asynchrony score below which the monitor
+	// remaps. 0 means 1.2.
+	ScoreFloor float64
+	// MaxSwapsPerTick bounds each incremental repair. 0 means 32.
+	MaxSwapsPerTick int
+}
+
+// Errors returned by the runtime.
+var (
+	ErrNotPlaced     = errors.New("core: runtime has no placement yet (call Bootstrap)")
+	ErrAlreadyPlaced = errors.New("core: runtime already bootstrapped")
+)
+
+// NewRuntime assembles a runtime around a framework, a telemetry store and
+// an empty power tree.
+func NewRuntime(fw *Framework, store *tracestore.Store, tree *powertree.Node, cfg RuntimeConfig) (*Runtime, error) {
+	if fw == nil || store == nil || tree == nil {
+		return nil, errors.New("core: runtime needs a framework, a store and a tree")
+	}
+	if tree.InstanceCount() != 0 {
+		return nil, errors.New("core: runtime tree must start empty")
+	}
+	floor := cfg.ScoreFloor
+	if floor <= 0 {
+		floor = 1.2
+	}
+	swaps := cfg.MaxSwapsPerTick
+	if swaps <= 0 {
+		swaps = 32
+	}
+	return &Runtime{fw: fw, store: store, tree: tree, scoreFloor: floor, maxSwaps: swaps}, nil
+}
+
+// Ingest forwards one power reading into the store.
+func (r *Runtime) Ingest(id string, at time.Time, watts float64) error {
+	return r.store.Append(id, at, watts)
+}
+
+// Tree exposes the current (placed) tree for inspection.
+func (r *Runtime) Tree() *powertree.Node { return r.tree }
+
+// History returns the drift reports of every tick so far.
+func (r *Runtime) History() []*DriftReport { return r.history }
+
+// Bootstrap computes averaged I-traces from the store's history ending at
+// asOf and places the given instances workload-aware. It can only run once.
+func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trainWeeks int) error {
+	if r.placed {
+		return ErrAlreadyPlaced
+	}
+	if trainWeeks < 1 {
+		trainWeeks = r.fw.cfg.trainWeeks()
+	}
+	avg := make(map[string]timeseries.Series, len(instances))
+	for _, inst := range instances {
+		tr, err := r.store.AveragedITrace(inst.ID, asOf, trainWeeks)
+		if err != nil {
+			return fmt.Errorf("core: bootstrap trace for %q: %w", inst.ID, err)
+		}
+		avg[inst.ID] = tr
+	}
+	placer := placement.WorkloadAware{
+		TopServices:      r.fw.cfg.topServices(),
+		ClustersPerChild: r.fw.cfg.ClustersPerChild,
+		Seed:             r.fw.cfg.Seed,
+	}
+	lookup := placement.TraceFn(func(id string) (timeseries.Series, bool) {
+		tr, ok := avg[id]
+		return tr, ok
+	})
+	if err := placer.Place(r.tree, instances, lookup); err != nil {
+		return fmt.Errorf("core: bootstrap placement: %w", err)
+	}
+	r.placed = true
+	return nil
+}
+
+// Tick evaluates the placement against the telemetry window [asOf−window,
+// asOf) and remaps if fragmentation re-appeared. The resulting drift report
+// is appended to the history and returned.
+func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, error) {
+	if !r.placed {
+		return nil, ErrNotPlaced
+	}
+	if window <= 0 {
+		window = 7 * 24 * time.Hour
+	}
+	fresh := make(map[string]timeseries.Series)
+	for _, id := range r.tree.AllInstances() {
+		tr, err := r.store.Snapshot(id, asOf.Add(-window), asOf)
+		if err != nil {
+			return nil, fmt.Errorf("core: tick snapshot for %q: %w", id, err)
+		}
+		fresh[id] = tr
+	}
+	rep, err := r.fw.Adapt(r.tree, fresh, r.scoreFloor, r.maxSwaps)
+	if err != nil {
+		return nil, err
+	}
+	r.history = append(r.history, rep)
+	return rep, nil
+}

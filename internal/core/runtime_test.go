@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/powertree"
+	"repro/internal/tracestore"
+	"repro/internal/workload"
+)
+
+// runtimeFixture wires a fleet's generated traces through a store into a
+// Runtime, exactly like a deployment would stream sensor data.
+func runtimeFixture(t *testing.T) (*Runtime, []placement.Instance, *workload.Fleet, time.Time) {
+	t.Helper()
+	cfg, err := workload.StandardDCConfig(workload.DC2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Gen.Step = time.Hour
+	fleet, tree, err := workload.BuildDC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := tracestore.New(tracestore.Config{Step: time.Hour, Retention: 4 * 7 * 24 * time.Hour})
+	rt, err := NewRuntime(New(Config{TopServices: 8, Seed: 1}), store, tree, RuntimeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := make([]placement.Instance, len(fleet.Instances))
+	for i, inst := range fleet.Instances {
+		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
+		for j, v := range inst.Trace.Values {
+			if err := rt.Ingest(inst.ID, inst.Trace.TimeAt(j), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	endOfTraining := fleet.Instances[0].Trace.Start.Add(2 * 7 * 24 * time.Hour)
+	return rt, instances, fleet, endOfTraining
+}
+
+func TestRuntimeBootstrapAndTick(t *testing.T) {
+	rt, instances, fleet, trainEnd := runtimeFixture(t)
+
+	if _, err := rt.Tick(trainEnd, 0); err != ErrNotPlaced {
+		t.Fatalf("tick before bootstrap: %v", err)
+	}
+	if err := rt.Bootstrap(instances, trainEnd, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := placement.Verify(rt.Tree(), instances); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Bootstrap(instances, trainEnd, 2); err != ErrAlreadyPlaced {
+		t.Fatalf("double bootstrap: %v", err)
+	}
+
+	// Tick over the held-out week.
+	testEnd := trainEnd.Add(7 * 24 * time.Hour)
+	rep, err := rt.Tick(testEnd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstNode == "" || rep.SumOfPeaks <= 0 {
+		t.Fatalf("drift report: %+v", rep)
+	}
+	if len(rt.History()) != 1 {
+		t.Fatalf("history = %d", len(rt.History()))
+	}
+	// The placement must stay complete whatever the monitor did.
+	if err := placement.Verify(rt.Tree(), instances); err != nil {
+		t.Fatal(err)
+	}
+	_ = fleet
+}
+
+func TestRuntimeConstructionErrors(t *testing.T) {
+	fw := New(Config{})
+	store := tracestore.New(tracestore.Config{})
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "r", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2, LeafBudget: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRuntime(nil, store, tree, RuntimeConfig{}); err == nil {
+		t.Fatal("nil framework must error")
+	}
+	if _, err := NewRuntime(fw, nil, tree, RuntimeConfig{}); err == nil {
+		t.Fatal("nil store must error")
+	}
+	if _, err := NewRuntime(fw, store, nil, RuntimeConfig{}); err == nil {
+		t.Fatal("nil tree must error")
+	}
+	if err := tree.Leaves()[0].Attach("squatter"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRuntime(fw, store, tree, RuntimeConfig{}); err == nil {
+		t.Fatal("occupied tree must error")
+	}
+}
+
+func TestRuntimeBootstrapMissingHistory(t *testing.T) {
+	fw := New(Config{})
+	store := tracestore.New(tracestore.Config{Step: time.Hour})
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "r2", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2, LeafBudget: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(fw, store, tree, RuntimeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asOf := time.Date(2016, 8, 8, 0, 0, 0, 0, time.UTC)
+	err = rt.Bootstrap([]placement.Instance{{ID: "ghost", Service: "x"}}, asOf, 2)
+	if err == nil {
+		t.Fatal("bootstrap without telemetry must error")
+	}
+}

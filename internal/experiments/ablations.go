@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/forecast"
+	"repro/internal/placement"
+	"repro/internal/powertree"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// AblationRow is one design-choice variant and the leaf-level peak
+// reduction it achieves on the held-out week.
+type AblationRow struct {
+	// Variant names the design choice under test.
+	Variant string
+	// RPPReductionPct is the leaf-level peak reduction vs. the DC's
+	// oblivious baseline.
+	RPPReductionPct float64
+}
+
+// runVariant evaluates one placer variant on a fresh DC instance.
+func runVariant(name workload.DCName, opt Options, variant string, placer placement.WorkloadAware, trainWeeks int) (AblationRow, error) {
+	opt = opt.withDefaults()
+	run, err := Setup(name, opt)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	// core.Optimize always uses the standard placer; for ablations we drive
+	// the pipeline pieces directly with the variant placer.
+	avg, err := run.Fleet.AveragedITraces(maxInt(trainWeeks, 1))
+	if err != nil {
+		return AblationRow{}, err
+	}
+	test, err := run.Fleet.SplitWeeks(maxInt(trainWeeks, 1))
+	if err != nil {
+		return AblationRow{}, err
+	}
+	instances := make([]placement.Instance, len(run.Fleet.Instances))
+	for i, inst := range run.Fleet.Instances {
+		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
+	}
+	trainFn := placement.TraceFn(workload.SubPowerFn(avg))
+	testFn := powertree.PowerFn(workload.SubPowerFn(test))
+
+	baseTree := run.Tree.Clone()
+	if err := (placement.Oblivious{MixFraction: run.Config.BaselineMix}).Place(baseTree, instances, trainFn); err != nil {
+		return AblationRow{}, err
+	}
+	optTree := run.Tree.Clone()
+	if err := placer.Place(optTree, instances, trainFn); err != nil {
+		return AblationRow{}, err
+	}
+	before, err := baseTree.SumOfPeaks(powertree.RPP, testFn)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	after, err := optTree.SumOfPeaks(powertree.RPP, testFn)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{Variant: variant, RPPReductionPct: 100 * (before - after) / before}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AblationEmbedding compares the paper's I-to-S embedding against the
+// I-to-I pairwise embedding §3.4 argues against.
+func AblationEmbedding(name workload.DCName, opt Options) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, v := range []struct {
+		label  string
+		placer placement.WorkloadAware
+	}{
+		{"I-to-S (paper)", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}},
+		{"I-to-I sample=32", placement.WorkloadAware{Seed: opt.Seed, IToI: true, IToISample: 32}},
+	} {
+		row, err := runVariant(name, opt, v.label, v.placer, 2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationClustering compares balanced k-means (paper) against plain
+// k-means in the placement step.
+func AblationClustering(name workload.DCName, opt Options) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, v := range []struct {
+		label  string
+		placer placement.WorkloadAware
+	}{
+		{"balanced k-means (paper)", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}},
+		{"plain k-means", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed, PlainKMeans: true}},
+	} {
+		row, err := runVariant(name, opt, v.label, v.placer, 2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationBasisSize sweeps |B|, the number of S-trace bases.
+func AblationBasisSize(name workload.DCName, opt Options, sizes []int) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 8, 12}
+	}
+	var rows []AblationRow
+	for _, b := range sizes {
+		row, err := runVariant(name, opt, fmt.Sprintf("|B|=%d", b),
+			placement.WorkloadAware{TopServices: b, Seed: opt.Seed}, 2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationBasisScope compares per-subtree S-trace extraction (paper)
+// against a single global basis.
+func AblationBasisScope(name workload.DCName, opt Options) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, v := range []struct {
+		label  string
+		placer placement.WorkloadAware
+	}{
+		{"per-subtree basis (paper)", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}},
+		{"global basis", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed, GlobalBasis: true}},
+	} {
+		row, err := runVariant(name, opt, v.label, v.placer, 2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationTrainWeeks compares single-week training against the paper's
+// multi-week averaged I-traces (the §3.3 overfitting guard).
+func AblationTrainWeeks(name workload.DCName, opt Options) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	var rows []AblationRow
+	for _, weeks := range []int{1, 2} {
+		row, err := runVariant(name, opt, fmt.Sprintf("train=%dwk", weeks),
+			placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}, weeks)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationRemap measures how far swap-based remapping alone (on the
+// oblivious placement) closes the gap to the full placement.
+func AblationRemap(name workload.DCName, opt Options, maxSwaps int) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	if maxSwaps <= 0 {
+		maxSwaps = 64
+	}
+	run, err := Setup(name, opt)
+	if err != nil {
+		return nil, err
+	}
+	avg, err := run.Fleet.AveragedITraces(2)
+	if err != nil {
+		return nil, err
+	}
+	test, err := run.Fleet.SplitWeeks(2)
+	if err != nil {
+		return nil, err
+	}
+	instances := make([]placement.Instance, len(run.Fleet.Instances))
+	for i, inst := range run.Fleet.Instances {
+		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
+	}
+	trainFn := placement.TraceFn(workload.SubPowerFn(avg))
+	testFn := powertree.PowerFn(workload.SubPowerFn(test))
+
+	base := run.Tree.Clone()
+	if err := (placement.Oblivious{MixFraction: run.Config.BaselineMix}).Place(base, instances, trainFn); err != nil {
+		return nil, err
+	}
+	before, err := base.SumOfPeaks(powertree.RPP, testFn)
+	if err != nil {
+		return nil, err
+	}
+
+	remapped := base.Clone()
+	if _, err := placement.Remap(remapped, trainFn, placement.RemapConfig{MaxSwaps: maxSwaps}); err != nil {
+		return nil, err
+	}
+	afterRemap, err := remapped.SumOfPeaks(powertree.RPP, testFn)
+	if err != nil {
+		return nil, err
+	}
+
+	full := run.Tree.Clone()
+	if err := (placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}).Place(full, instances, trainFn); err != nil {
+		return nil, err
+	}
+	afterFull, err := full.SumOfPeaks(powertree.RPP, testFn)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Variant: fmt.Sprintf("remap-only (%d swaps)", maxSwaps), RPPReductionPct: 100 * (before - afterRemap) / before},
+		{Variant: "full placement (paper)", RPPReductionPct: 100 * (before - afterFull) / before},
+	}, nil
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — %s\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s RPP peak reduction %6.2f%%\n", r.Variant, r.RPPReductionPct)
+	}
+	return b.String()
+}
+
+// AblationForecast compares placing on the paper's averaged I-traces
+// against placing on forecast traces (seasonal EWMA + trend) — the
+// "proactive planning" knob. Both placements are evaluated on the held-out
+// week.
+func AblationForecast(name workload.DCName, opt Options) ([]AblationRow, error) {
+	opt = opt.withDefaults()
+	run, err := Setup(name, opt)
+	if err != nil {
+		return nil, err
+	}
+	avg, err := run.Fleet.AveragedITraces(2)
+	if err != nil {
+		return nil, err
+	}
+	weekLen := int(7 * 24 * time.Hour / run.Config.Gen.Step)
+	fc := make(map[string]timeseries.Series, len(run.Fleet.Instances))
+	for _, inst := range run.Fleet.Instances {
+		f, err := forecast.NextWeek(inst.Trace.Slice(0, 2*weekLen), forecast.Config{Alpha: 0.5, TrendDamping: 0.5})
+		if err != nil {
+			return nil, err
+		}
+		fc[inst.ID] = f
+	}
+	test, err := run.Fleet.SplitWeeks(2)
+	if err != nil {
+		return nil, err
+	}
+	instances := make([]placement.Instance, len(run.Fleet.Instances))
+	for i, inst := range run.Fleet.Instances {
+		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
+	}
+	testFn := powertree.PowerFn(workload.SubPowerFn(test))
+
+	base := run.Tree.Clone()
+	if err := (placement.Oblivious{MixFraction: run.Config.BaselineMix}).Place(base, instances, placement.TraceFn(workload.SubPowerFn(avg))); err != nil {
+		return nil, err
+	}
+	before, err := base.SumOfPeaks(powertree.RPP, testFn)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []AblationRow
+	for _, v := range []struct {
+		label  string
+		traces map[string]timeseries.Series
+	}{
+		{"averaged I-traces (paper)", avg},
+		{"forecast traces", fc},
+	} {
+		tree := run.Tree.Clone()
+		placer := placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}
+		if err := placer.Place(tree, instances, placement.TraceFn(workload.SubPowerFn(v.traces))); err != nil {
+			return nil, err
+		}
+		after, err := tree.SumOfPeaks(powertree.RPP, testFn)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Variant: v.label, RPPReductionPct: 100 * (before - after) / before})
+	}
+	return rows, nil
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/timeseries"
+)
+
+// WriteCSVs dumps every figure's data as CSV files into dir (created if
+// missing), so the figures can be re-plotted with any external tool:
+//
+//	fig5_mix.csv            dc,service,class,share_pct
+//	fig6_<svc>_bands.csv    t,lo5,hi95,lo25,hi75
+//	fig8_embedding.csv      id,service,cluster,x,y
+//	fig10_reduction.csv     dc,level,reduction_pct
+//	fig11_budgets.csv       dc,level,u,delta,statprof_norm,smoop_norm
+//	fig12_<dc>.csv          t,pre_load,post_load,pre_batch,post_batch,pre_lc,post_lc
+//	fig13_throughput.csv    dc,conv_lc_pct,conv_batch_pct,tb_lc_pct,tb_batch_pct
+//	fig14_slack.csv         dc,avg_pct,offpeak_pct
+func WriteCSVs(dir string, runs []*DCRun, opt Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	w := func(name string, header []string, rows [][]string) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cw := csv.NewWriter(f)
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		if err := cw.WriteAll(rows); err != nil {
+			return err
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	fmtF := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	// Fig. 5.
+	mix, err := Fig5(opt)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, r := range mix {
+		rows = append(rows, []string{string(r.DC), r.Service, r.Class.String(), fmtF(r.SharePct)})
+	}
+	if err := w("fig5_mix.csv", []string{"dc", "service", "class", "share_pct"}, rows); err != nil {
+		return err
+	}
+
+	// Fig. 6.
+	bands, err := Fig6(opt)
+	if err != nil {
+		return err
+	}
+	for _, s := range bands {
+		rows = rows[:0]
+		outer, inner := s.Bands[0], s.Bands[2]
+		for t := 0; t < s.Points; t++ {
+			rows = append(rows, []string{
+				strconv.Itoa(t),
+				fmtF(outer.Lo[t]), fmtF(outer.Hi[t]),
+				fmtF(inner.Lo[t]), fmtF(inner.Hi[t]),
+			})
+		}
+		if err := w(fmt.Sprintf("fig6_%s_bands.csv", s.Service),
+			[]string{"t", "lo5", "hi95", "lo25", "hi75"}, rows); err != nil {
+			return err
+		}
+	}
+
+	// Fig. 8.
+	points, err := Fig8(opt, 6)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, p := range points {
+		rows = append(rows, []string{p.ID, p.Service, strconv.Itoa(p.Cluster), fmtF(p.X), fmtF(p.Y)})
+	}
+	if err := w("fig8_embedding.csv", []string{"id", "service", "cluster", "x", "y"}, rows); err != nil {
+		return err
+	}
+
+	// Fig. 10.
+	red, err := Fig10(runs)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range red {
+		rows = append(rows, []string{string(r.DC), r.Level.String(), fmtF(r.ReductionPct)})
+	}
+	if err := w("fig10_reduction.csv", []string{"dc", "level", "reduction_pct"}, rows); err != nil {
+		return err
+	}
+
+	// Fig. 11.
+	budgets, err := Fig11(runs)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range budgets {
+		rows = append(rows, []string{
+			string(r.DC), r.Level.String(),
+			fmtF(r.Config.UnderProvision), fmtF(r.Config.Overbook),
+			fmtF(r.StatProfNorm), fmtF(r.SmoOpNorm),
+		})
+	}
+	if err := w("fig11_budgets.csv",
+		[]string{"dc", "level", "u", "delta", "statprof_norm", "smoop_norm"}, rows); err != nil {
+		return err
+	}
+
+	// Fig. 12 (per DC).
+	for _, run := range runs {
+		s, err := Fig12(run)
+		if err != nil {
+			return err
+		}
+		rows = rows[:0]
+		series := []timeseries.Series{
+			s.PerLCServerLoadPre, s.PerLCServerLoadPost,
+			s.BatchPre, s.BatchPost, s.LCPre, s.LCPost,
+		}
+		for t := 0; t < series[0].Len(); t++ {
+			rec := []string{strconv.Itoa(t)}
+			for _, sr := range series {
+				rec = append(rec, fmtF(sr.Values[t]))
+			}
+			rows = append(rows, rec)
+		}
+		if err := w(fmt.Sprintf("fig12_%s.csv", run.Name),
+			[]string{"t", "pre_load", "post_load", "pre_batch", "post_batch", "pre_lc", "post_lc"}, rows); err != nil {
+			return err
+		}
+	}
+
+	// Fig. 13.
+	tput, err := Fig13(runs)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range tput {
+		rows = append(rows, []string{
+			string(r.DC), fmtF(r.ConvLCPct), fmtF(r.ConvBatchPct), fmtF(r.TBLCPct), fmtF(r.TBBatchPct),
+		})
+	}
+	if err := w("fig13_throughput.csv",
+		[]string{"dc", "conv_lc_pct", "conv_batch_pct", "tb_lc_pct", "tb_batch_pct"}, rows); err != nil {
+		return err
+	}
+
+	// Fig. 14.
+	slack, err := Fig14(runs)
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for _, r := range slack {
+		rows = append(rows, []string{string(r.DC), fmtF(r.AvgPct), fmtF(r.OffPeakPct)})
+	}
+	return w("fig14_slack.csv", []string{"dc", "avg_pct", "offpeak_pct"}, rows)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestExtensionESD(t *testing.T) {
+	cmp, err := ExtensionESD(workload.DC3, fastOpt(), 10, 1.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point: diurnal peaks last hours, dwarfing UPS autonomy.
+	if cmp.LongestPeak < time.Hour {
+		t.Fatalf("longest peak %v should be hour-scale", cmp.LongestPeak)
+	}
+	if cmp.ObliviousCoverage >= 0.9 {
+		t.Fatalf("minutes-scale UPS should not cover hour-scale peaks: %v", cmp.ObliviousCoverage)
+	}
+	if cmp.ObliviousUncovered == 0 {
+		t.Fatal("oblivious + UPS should leave breaker-risk steps")
+	}
+	// Defragmentation attacks the root cause: less over-budget energy
+	// without any batteries.
+	if cmp.SmoothOpOverWh >= cmp.ObliviousOverWh {
+		t.Fatalf("SmoothOperator should reduce over-budget energy: %v vs %v",
+			cmp.SmoothOpOverWh, cmp.ObliviousOverWh)
+	}
+	if got := FormatESD(cmp); !strings.Contains(got, "UPS") {
+		t.Fatal("FormatESD output")
+	}
+}
+
+func TestExtensionESDDefaults(t *testing.T) {
+	cmp, err := ExtensionESD(workload.DC3, fastOpt(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AutonomyMinutes != 10 || cmp.BudgetMultiplier != 1.05 {
+		t.Fatalf("defaults: %+v", cmp)
+	}
+}
+
+func TestExtensionCapping(t *testing.T) {
+	study, err := ExtensionCapping(workload.DC3, fastOpt(), 1.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.ObliviousThrottles == 0 {
+		t.Fatal("tight budgets must force capping on the oblivious placement")
+	}
+	// §3.2's safety claim: the defragmented placement needs less emergency
+	// intervention, and in particular sheds less latency-critical power.
+	if study.SmartThrottles > study.ObliviousThrottles {
+		t.Fatalf("workload-aware should cap no more often: %d vs %d",
+			study.SmartThrottles, study.ObliviousThrottles)
+	}
+	if study.SmartLCShedW > study.ObliviousLCShedW {
+		t.Fatalf("workload-aware should shed no more LC power: %v vs %v",
+			study.SmartLCShedW, study.ObliviousLCShedW)
+	}
+	if got := FormatCapping(study); !strings.Contains(got, "throttles") {
+		t.Fatal("FormatCapping output")
+	}
+}
+
+func TestExtensionUnknownDC(t *testing.T) {
+	if _, err := ExtensionESD("DC9", fastOpt(), 10, 1.02); err == nil {
+		t.Fatal("unknown DC must error")
+	}
+	if _, err := ExtensionCapping("DC9", fastOpt(), 1.02); err == nil {
+		t.Fatal("unknown DC must error")
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/powerrouting"
+	"repro/internal/powertree"
+	"repro/internal/workload"
+)
+
+// SensitivityRow is one point of a parameter sweep.
+type SensitivityRow struct {
+	// Param is the swept value (meaning depends on the sweep).
+	Param float64
+	// RPPReductionPct is the leaf-level peak reduction at that value.
+	RPPReductionPct float64
+}
+
+// sweepOnce builds a DC variant with the given mutation and measures the
+// leaf-level reduction of the workload-aware placement over the DC's
+// oblivious baseline.
+func sweepOnce(name workload.DCName, opt Options, mutate func(*workload.DCConfig)) (float64, error) {
+	opt = opt.withDefaults()
+	cfg, err := workload.StandardDCConfig(name, opt.Scale)
+	if err != nil {
+		return 0, err
+	}
+	cfg.Gen.Step = opt.Step
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	fleet, tree, err := workload.BuildDC(cfg)
+	if err != nil {
+		return 0, err
+	}
+	avg, err := fleet.AveragedITraces(2)
+	if err != nil {
+		return 0, err
+	}
+	test, err := fleet.SplitWeeks(2)
+	if err != nil {
+		return 0, err
+	}
+	instances := make([]placement.Instance, len(fleet.Instances))
+	for i, inst := range fleet.Instances {
+		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
+	}
+	trainFn := placement.TraceFn(workload.SubPowerFn(avg))
+	testFn := powertree.PowerFn(workload.SubPowerFn(test))
+
+	base := tree.Clone()
+	if err := (placement.Oblivious{MixFraction: cfg.BaselineMix}).Place(base, instances, trainFn); err != nil {
+		return 0, err
+	}
+	opt2 := tree.Clone()
+	if err := (placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}).Place(opt2, instances, trainFn); err != nil {
+		return 0, err
+	}
+	before, err := base.SumOfPeaks(powertree.RPP, testFn)
+	if err != nil {
+		return 0, err
+	}
+	after, err := opt2.SumOfPeaks(powertree.RPP, testFn)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * (before - after) / before, nil
+}
+
+// SweepHeterogeneity varies per-instance phase jitter — the driver behind
+// the paper's cross-DC differences ("the degree of heterogeneity among
+// instance power traces found in DC1 is much smaller than that in DC3").
+func SweepHeterogeneity(name workload.DCName, opt Options, jitterHours []float64) ([]SensitivityRow, error) {
+	if len(jitterHours) == 0 {
+		jitterHours = []float64{0.25, 1, 2, 3.5}
+	}
+	out := make([]SensitivityRow, 0, len(jitterHours))
+	for _, j := range jitterHours {
+		j := j
+		red, err := sweepOnce(name, opt, func(c *workload.DCConfig) { c.Gen.PhaseJitterHours = j })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SensitivityRow{Param: j, RPPReductionPct: red})
+	}
+	return out, nil
+}
+
+// SweepBaselineMix varies how balanced the historical placement is — the
+// second driver of the cross-DC ordering (§5.2.1: DC1's baseline was "more
+// balanced").
+func SweepBaselineMix(name workload.DCName, opt Options, mixes []float64) ([]SensitivityRow, error) {
+	if len(mixes) == 0 {
+		mixes = []float64{0, 0.25, 0.5, 0.75}
+	}
+	out := make([]SensitivityRow, 0, len(mixes))
+	for _, m := range mixes {
+		m := m
+		red, err := sweepOnce(name, opt, func(c *workload.DCConfig) { c.BaselineMix = m })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SensitivityRow{Param: m, RPPReductionPct: red})
+	}
+	return out, nil
+}
+
+// FormatSensitivity renders a sweep.
+func FormatSensitivity(title, paramName string, rows []SensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sensitivity — %s\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %s=%-6.2f RPP peak reduction %6.2f%%\n", paramName, r.Param, r.RPPReductionPct)
+	}
+	return b.String()
+}
+
+// RoutingComparison quantifies the Power Routing discussion (§6): routing
+// balances feeds by re-wiring flexibility; placement achieves the smoothing
+// in software.
+type RoutingComparison struct {
+	DC workload.DCName
+	// StaticSum is the sum of feed peaks under fragmented single-cord
+	// wiring (service-grouped feeds).
+	StaticSum float64
+	// RoutedSum is the sum after degree-2 power routing.
+	RoutedSum float64
+	// PlacedSum is the sum under a workload-aware static assignment with no
+	// routing hardware.
+	PlacedSum float64
+	// Feeds is the feed count used.
+	Feeds int
+}
+
+// ExtensionRouting runs the comparison on one datacenter, treating each
+// leaf power node's position as one feed pair: servers are corded to their
+// service-grouped feed and one alternative.
+func ExtensionRouting(name workload.DCName, opt Options, feeds int) (*RoutingComparison, error) {
+	opt = opt.withDefaults()
+	if feeds < 2 {
+		feeds = 8
+	}
+	run, err := Setup(name, opt)
+	if err != nil {
+		return nil, err
+	}
+	test, err := run.Fleet.SplitWeeks(2)
+	if err != nil {
+		return nil, err
+	}
+	// Fragmented wiring: instances of the same service share a feed
+	// (round-robin over services), cords pair each feed with the next one.
+	services := run.Fleet.Services()
+	feedOf := make(map[string]int, len(services))
+	for i, svc := range services {
+		feedOf[svc] = i % feeds
+	}
+	servers := make([]powerrouting.Server, len(run.Fleet.Instances))
+	for i, inst := range run.Fleet.Instances {
+		f := feedOf[inst.Service]
+		servers[i] = powerrouting.Server{
+			ID:    inst.ID,
+			FeedA: f,
+			FeedB: (f + 1) % feeds,
+			Trace: test[inst.ID],
+		}
+	}
+	static, err := powerrouting.StaticSplit(servers, feeds)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := powerrouting.Route(servers, powerrouting.Config{Feeds: feeds, StepsPerEpoch: 6, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// Workload-aware static assignment: reuse the placement machinery with
+	// a one-level "tree" of `feeds` leaves.
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "feeds", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: feeds,
+		LeafBudget: 1e12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	instances := make([]placement.Instance, len(run.Fleet.Instances))
+	for i, inst := range run.Fleet.Instances {
+		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
+	}
+	avg, err := run.Fleet.AveragedITraces(2)
+	if err != nil {
+		return nil, err
+	}
+	if err := (placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}).Place(tree, instances, placement.TraceFn(workload.SubPowerFn(avg))); err != nil {
+		return nil, err
+	}
+	placedSum, err := tree.SumOfPeaks(powertree.RPP, powertree.PowerFn(workload.SubPowerFn(test)))
+	if err != nil {
+		return nil, err
+	}
+	cmp := &RoutingComparison{DC: name, Feeds: feeds, RoutedSum: asg.SumOfFeedPeaks(), PlacedSum: placedSum}
+	for _, p := range static {
+		cmp.StaticSum += p
+	}
+	return cmp, nil
+}
+
+// FormatRouting renders the comparison.
+func FormatRouting(c *RoutingComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — Power Routing vs workload-aware placement (%s, %d feeds)\n", c.DC, c.Feeds)
+	fmt.Fprintf(&b, "  fragmented static wiring:  Σ feed peaks %10.0f\n", c.StaticSum)
+	fmt.Fprintf(&b, "  degree-2 power routing:    Σ feed peaks %10.0f (%5.1f%% better, needs dual cords)\n",
+		c.RoutedSum, 100*(c.StaticSum-c.RoutedSum)/c.StaticSum)
+	fmt.Fprintf(&b, "  workload-aware placement:  Σ feed peaks %10.0f (%5.1f%% better, no new hardware)\n",
+		c.PlacedSum, 100*(c.StaticSum-c.PlacedSum)/c.StaticSum)
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSweepHeterogeneity(t *testing.T) {
+	rows, err := SweepHeterogeneity(workload.DC3, fastOpt(), []float64{0.25, 3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More instance heterogeneity → more defragmentation opportunity.
+	if rows[1].RPPReductionPct <= rows[0].RPPReductionPct {
+		t.Fatalf("high jitter should gain more: %+v", rows)
+	}
+	if got := FormatSensitivity("jitter", "h", rows); !strings.Contains(got, "h=") {
+		t.Fatal("FormatSensitivity output")
+	}
+}
+
+func TestSweepBaselineMix(t *testing.T) {
+	rows, err := SweepBaselineMix(workload.DC3, fastOpt(), []float64{0, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fully packed baseline (mix 0) leaves the most to gain.
+	if rows[0].RPPReductionPct <= rows[1].RPPReductionPct {
+		t.Fatalf("packed baseline should gain more: %+v", rows)
+	}
+}
+
+func TestSweepDefaults(t *testing.T) {
+	rows, err := SweepHeterogeneity(workload.DC1, fastOpt(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("default sweep size = %d", len(rows))
+	}
+	rows2, err := SweepBaselineMix(workload.DC1, fastOpt(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 4 {
+		t.Fatalf("default mix sweep size = %d", len(rows2))
+	}
+}
+
+func TestExtensionRouting(t *testing.T) {
+	cmp, err := ExtensionRouting(workload.DC3, fastOpt(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6's comparison: routing improves on the fragmented wiring, and the
+	// software-only placement is competitive with (here: at least as good
+	// as) the hardware-assisted routing.
+	if cmp.RoutedSum >= cmp.StaticSum {
+		t.Fatalf("routing must beat static wiring: %+v", cmp)
+	}
+	if cmp.PlacedSum >= cmp.StaticSum {
+		t.Fatalf("placement must beat static wiring: %+v", cmp)
+	}
+	if got := FormatRouting(cmp); !strings.Contains(got, "Power Routing") {
+		t.Fatal("FormatRouting output")
+	}
+}
+
+func TestExtensionRoutingUnknownDC(t *testing.T) {
+	if _, err := ExtensionRouting("DC9", fastOpt(), 4); err == nil {
+		t.Fatal("unknown DC must error")
+	}
+}
+
+func TestAblationForecast(t *testing.T) {
+	rows, err := AblationForecast(workload.DC3, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Both placements must defragment; on the (stationary) synthetic fleet
+	// the forecast-driven placement must be competitive with the average.
+	for _, r := range rows {
+		if r.RPPReductionPct <= 0 {
+			t.Fatalf("variant %q did not defragment: %+v", r.Variant, rows)
+		}
+	}
+	if rows[1].RPPReductionPct < rows[0].RPPReductionPct-2 {
+		t.Fatalf("forecast placement materially worse: %+v", rows)
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	runs := fullRuns(t)
+	if err := WriteCSVs(dir, runs, fastOpt()); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig5_mix.csv", "fig6_frontend_bands.csv", "fig6_dbA_bands.csv",
+		"fig6_hadoop_bands.csv", "fig8_embedding.csv", "fig10_reduction.csv",
+		"fig11_budgets.csv", "fig12_DC1.csv", "fig12_DC2.csv", "fig12_DC3.csv",
+		"fig13_throughput.csv", "fig14_slack.csv",
+	}
+	for _, name := range want {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	// Spot-check one file parses as CSV with the right header.
+	f, err := os.Open(filepath.Join(dir, "fig10_reduction.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 13 { // header + 3 DCs × 4 levels
+		t.Fatalf("fig10 rows = %d", len(records))
+	}
+	if records[0][0] != "dc" || records[0][2] != "reduction_pct" {
+		t.Fatalf("fig10 header: %v", records[0])
+	}
+}

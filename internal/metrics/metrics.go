@@ -1,0 +1,203 @@
+// Package metrics implements the paper's power-utilization metrics (§2.2):
+// power slack and energy slack (Eq. 1 and 2), sum of peaks, per-level peak
+// reduction, and the report structures the evaluation section's figures are
+// generated from.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/powertree"
+	"repro/internal/timeseries"
+)
+
+// ErrBudget is returned for non-positive budgets.
+var ErrBudget = errors.New("metrics: budget must be positive")
+
+// PowerSlack returns the slack series P_budget − P_instant,t (Eq. 1).
+// Negative values mean the budget was exceeded at that instant.
+func PowerSlack(power timeseries.Series, budget float64) (timeseries.Series, error) {
+	if budget <= 0 {
+		return timeseries.Series{}, ErrBudget
+	}
+	if power.Empty() {
+		return timeseries.Series{}, timeseries.ErrEmpty
+	}
+	out := power.Clone()
+	for i, v := range power.Values {
+		out.Values[i] = budget - v
+	}
+	return out, nil
+}
+
+// EnergySlack integrates power slack over the series (Eq. 2), in
+// value-hours. Lower means the budget is better utilized.
+func EnergySlack(power timeseries.Series, budget float64) (float64, error) {
+	slack, err := PowerSlack(power, budget)
+	if err != nil {
+		return 0, err
+	}
+	return slack.Energy(), nil
+}
+
+// AverageSlack returns the time-average of the power slack.
+func AverageSlack(power timeseries.Series, budget float64) (float64, error) {
+	slack, err := PowerSlack(power, budget)
+	if err != nil {
+		return 0, err
+	}
+	return slack.MeanValue(), nil
+}
+
+// OffPeakSlack returns the average power slack restricted to off-peak
+// readings: those where the draw is below the given fraction of its peak.
+// Fig. 14 reports slack reduction separately for off-peak hours because
+// that is where reshaping converts idle budget into batch work.
+func OffPeakSlack(power timeseries.Series, budget, peakFraction float64) (float64, error) {
+	if budget <= 0 {
+		return 0, ErrBudget
+	}
+	if power.Empty() {
+		return 0, timeseries.ErrEmpty
+	}
+	threshold := power.Peak() * peakFraction
+	var total float64
+	var n int
+	for _, v := range power.Values {
+		if v < threshold {
+			total += budget - v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: no off-peak readings below %.3g", threshold)
+	}
+	return total / float64(n), nil
+}
+
+// Reduction returns the relative reduction (before−after)/before, guarding
+// against a zero baseline.
+func Reduction(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (before - after) / before
+}
+
+// LevelPeakReport compares the sum of node peaks at one level between two
+// placements of the same fleet (Fig. 10's bars).
+type LevelPeakReport struct {
+	Level powertree.Level
+	// Before and After are the sums of node peak powers.
+	Before, After float64
+	// ReductionPct is 100 × (Before−After)/Before.
+	ReductionPct float64
+}
+
+// PeakReduction computes the per-level peak reduction between a baseline
+// tree and an optimized tree hosting the same instances. Both trees are
+// evaluated with the same trace lookup (typically the held-out test week).
+func PeakReduction(before, after *powertree.Node, traces powertree.PowerFn) ([]LevelPeakReport, error) {
+	out := make([]LevelPeakReport, 0, len(powertree.Levels))
+	for _, level := range powertree.Levels {
+		b, err := before.SumOfPeaks(level, traces)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: before sum-of-peaks at %s: %w", level, err)
+		}
+		a, err := after.SumOfPeaks(level, traces)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: after sum-of-peaks at %s: %w", level, err)
+		}
+		out = append(out, LevelPeakReport{Level: level, Before: b, After: a, ReductionPct: 100 * Reduction(b, a)})
+	}
+	return out, nil
+}
+
+// SlackReport aggregates the slack metrics of one power node over a window
+// (Fig. 14's bars are reductions between two SlackReports).
+type SlackReport struct {
+	// Node is the power node's name.
+	Node string
+	// Budget is the node's power budget.
+	Budget float64
+	// AvgSlack is the time-average power slack.
+	AvgSlack float64
+	// OffPeakAvgSlack is the average slack during off-peak readings.
+	OffPeakAvgSlack float64
+	// EnergySlack is the integral of slack over the window (value-hours).
+	EnergySlack float64
+	// UtilizationPct is 100 × mean power / budget.
+	UtilizationPct float64
+}
+
+// NodeSlack computes the slack report of one node's aggregate trace.
+// offPeakFraction is the peak fraction below which a reading counts as
+// off-peak (e.g. 0.85).
+func NodeSlack(n *powertree.Node, traces powertree.PowerFn, offPeakFraction float64) (SlackReport, error) {
+	agg, _, err := n.AggregatePower(traces)
+	if err != nil {
+		return SlackReport{}, err
+	}
+	if agg.Empty() {
+		return SlackReport{}, fmt.Errorf("metrics: node %q hosts no traced instances", n.Name)
+	}
+	avg, err := AverageSlack(agg, n.Budget)
+	if err != nil {
+		return SlackReport{}, err
+	}
+	es, err := EnergySlack(agg, n.Budget)
+	if err != nil {
+		return SlackReport{}, err
+	}
+	off, err := OffPeakSlack(agg, n.Budget, offPeakFraction)
+	if err != nil {
+		// A flat trace can have no off-peak readings; fall back to average.
+		off = avg
+	}
+	return SlackReport{
+		Node:            n.Name,
+		Budget:          n.Budget,
+		AvgSlack:        avg,
+		OffPeakAvgSlack: off,
+		EnergySlack:     es,
+		UtilizationPct:  100 * agg.MeanValue() / n.Budget,
+	}, nil
+}
+
+// HeadroomPct returns the peak headroom of a node as a percentage of its
+// budget: 100 × (budget − peak)/budget. This is the quantity that converts
+// directly into extra hostable servers (§5.2.1: "these reductions translate
+// to the proportion of extra servers allowed to be housed").
+func HeadroomPct(n *powertree.Node, traces powertree.PowerFn) (float64, error) {
+	if n.Budget <= 0 {
+		return 0, ErrBudget
+	}
+	peak, err := n.PeakPower(traces)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * (n.Budget - peak) / n.Budget, nil
+}
+
+// ExtraServers estimates how many additional servers of the given peak draw
+// fit into the headroom unlocked at the most constrained leaf nodes: for
+// each leaf, floor(headroom/serverPeak), summed. Leaves already over budget
+// contribute zero.
+func ExtraServers(tree *powertree.Node, traces powertree.PowerFn, serverPeak float64) (int, error) {
+	if serverPeak <= 0 {
+		return 0, fmt.Errorf("metrics: server peak must be positive")
+	}
+	total := 0
+	for _, leaf := range tree.Leaves() {
+		h, err := leaf.Headroom(traces)
+		if err != nil {
+			return 0, err
+		}
+		if h > 0 {
+			total += int(math.Floor(h / serverPeak))
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,239 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/powertree"
+	"repro/internal/score"
+	"repro/internal/timeseries"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Swap records one accepted remapping swap.
+type Swap struct {
+	// InstanceA moved from NodeA to NodeB; InstanceB the reverse.
+	InstanceA, InstanceB string
+	NodeA, NodeB         string
+	// GainA and GainB are the differential-score improvements at each node.
+	GainA, GainB float64
+}
+
+// RemapConfig tunes incremental remapping (§3.6).
+type RemapConfig struct {
+	// MaxSwaps bounds the number of accepted swaps; 0 means 32.
+	MaxSwaps int
+	// Level is the tier whose nodes are rebalanced; the paper remaps leaf
+	// (RPP) nodes. Defaults to RPP.
+	Level powertree.Level
+	// CandidateNodes bounds how many partner nodes are searched per swap,
+	// starting from the best-scoring nodes; 0 means all.
+	CandidateNodes int
+}
+
+// Remap incrementally improves an existing placement in response to
+// workload drift. Following §3.6, it repeatedly: finds the node with the
+// lowest asynchrony score at the configured level, finds the instance there
+// with the worst differential asynchrony score, and swaps it with an
+// instance from another node if and only if the swap raises the differential
+// scores at both nodes. It stops when no improving swap exists or MaxSwaps
+// is reached, returning the accepted swaps.
+func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error) {
+	maxSwaps := cfg.MaxSwaps
+	if maxSwaps <= 0 {
+		maxSwaps = 32
+	}
+	level := cfg.Level
+	if level == 0 {
+		level = powertree.RPP
+	}
+	nodes := tree.NodesAtLevel(level)
+	if len(nodes) < 2 {
+		return nil, nil
+	}
+
+	nodeTraces := func(n *powertree.Node) ([]string, []timeseries.Series, error) {
+		ids := n.AllInstances()
+		out := make([]timeseries.Series, len(ids))
+		for i, id := range ids {
+			tr, ok := traces(id)
+			if !ok {
+				return nil, nil, fmt.Errorf("%w for instance %q", ErrMissingTrace, id)
+			}
+			out[i] = tr
+		}
+		return ids, out, nil
+	}
+
+	nodeScore := func(n *powertree.Node) (float64, error) {
+		_, trs, err := nodeTraces(n)
+		if err != nil {
+			return 0, err
+		}
+		if len(trs) < 2 {
+			return math.Inf(1), nil // nothing to defragment
+		}
+		return score.Asynchrony(trs...)
+	}
+
+	// differential of a candidate trace against a peer set.
+	diff := func(cand timeseries.Series, peers []timeseries.Series) float64 {
+		if len(peers) == 0 {
+			return math.Inf(1)
+		}
+		d, err := score.Differential(cand, peers)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return d
+	}
+
+	var swaps []Swap
+	for len(swaps) < maxSwaps {
+		// 1. Find the most fragmented node.
+		worstIdx, worstScore := -1, math.Inf(1)
+		for i, n := range nodes {
+			s, err := nodeScore(n)
+			if err != nil {
+				return nil, err
+			}
+			if s < worstScore {
+				worstScore, worstIdx = s, i
+			}
+		}
+		if worstIdx < 0 || math.IsInf(worstScore, 1) {
+			break
+		}
+		worst := nodes[worstIdx]
+		wIDs, wTraces, err := nodeTraces(worst)
+		if err != nil {
+			return nil, err
+		}
+		if len(wIDs) < 2 {
+			break
+		}
+
+		// 2. Find the instance with the worst differential score there.
+		peersOf := func(trs []timeseries.Series, skip int) []timeseries.Series {
+			peers := make([]timeseries.Series, 0, len(trs)-1)
+			for j, tr := range trs {
+				if j != skip {
+					peers = append(peers, tr)
+				}
+			}
+			return peers
+		}
+		victim, victimDiff := -1, math.Inf(1)
+		for i := range wIDs {
+			d := diff(wTraces[i], peersOf(wTraces, i))
+			if d < victimDiff {
+				victimDiff, victim = d, i
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		victimPeers := peersOf(wTraces, victim)
+
+		// 3. Search partner nodes, best-scoring first, for an improving swap.
+		type scored struct {
+			idx int
+			s   float64
+		}
+		order := make([]scored, 0, len(nodes))
+		for i, n := range nodes {
+			if i == worstIdx {
+				continue
+			}
+			s, err := nodeScore(n)
+			if err != nil {
+				return nil, err
+			}
+			order = append(order, scored{i, s})
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a].s > order[b].s })
+		if cfg.CandidateNodes > 0 && len(order) > cfg.CandidateNodes {
+			order = order[:cfg.CandidateNodes]
+		}
+
+		found := false
+		for _, cand := range order {
+			partner := nodes[cand.idx]
+			pIDs, pTraces, err := nodeTraces(partner)
+			if err != nil {
+				return nil, err
+			}
+			if len(pIDs) < 1 {
+				continue
+			}
+			for j := range pIDs {
+				pPeers := peersOf(pTraces, j)
+				// Current differentials.
+				curA := victimDiff
+				curB := diff(pTraces[j], pPeers)
+				// Post-swap differentials: victim joins partner's peers,
+				// partner's instance joins worst's peers.
+				newA := diff(pTraces[j], victimPeers)
+				newB := diff(wTraces[victim], pPeers)
+				if newA > curA && newB > curB {
+					// Accept: "swap it ... if and only if that swap makes the
+					// differential asynchrony scores higher at both of the
+					// two power nodes involved."
+					if !worst.Detach(wIDs[victim]) || !partner.Detach(pIDs[j]) {
+						return nil, fmt.Errorf("placement: swap bookkeeping failed")
+					}
+					if err := worst.Attach(pIDs[j]); err != nil {
+						return nil, err
+					}
+					if err := partner.Attach(wIDs[victim]); err != nil {
+						return nil, err
+					}
+					swaps = append(swaps, Swap{
+						InstanceA: wIDs[victim], InstanceB: pIDs[j],
+						NodeA: worst.Name, NodeB: partner.Name,
+						GainA: newA - curA, GainB: newB - curB,
+					})
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return swaps, nil
+}
+
+// LevelAsynchrony returns the asynchrony score of every node at a level,
+// keyed by node name — the drift monitor of §3.6 watches these (together
+// with sum-of-peaks) to decide when remapping is worthwhile.
+func LevelAsynchrony(tree *powertree.Node, level powertree.Level, traces TraceFn) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, n := range tree.NodesAtLevel(level) {
+		ids := n.AllInstances()
+		if len(ids) < 2 {
+			continue
+		}
+		trs := make([]timeseries.Series, len(ids))
+		for i, id := range ids {
+			tr, ok := traces(id)
+			if !ok {
+				return nil, fmt.Errorf("%w for instance %q", ErrMissingTrace, id)
+			}
+			trs[i] = tr
+		}
+		s, err := score.Asynchrony(trs...)
+		if err != nil {
+			return nil, fmt.Errorf("placement: scoring node %q: %w", n.Name, err)
+		}
+		out[n.Name] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package powertree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonNode is the wire form of a Node.
+type jsonNode struct {
+	Name      string      `json:"name"`
+	Level     int         `json:"level"`
+	Budget    float64     `json:"budget"`
+	Instances []string    `json:"instances,omitempty"`
+	Children  []*jsonNode `json:"children,omitempty"`
+}
+
+func toJSON(n *Node) *jsonNode {
+	jn := &jsonNode{Name: n.Name, Level: int(n.Level), Budget: n.Budget}
+	if len(n.Instances) > 0 {
+		jn.Instances = append([]string(nil), n.Instances...)
+	}
+	for _, c := range n.Children {
+		jn.Children = append(jn.Children, toJSON(c))
+	}
+	return jn
+}
+
+func fromJSON(jn *jsonNode, parent *Node) *Node {
+	n := &Node{
+		Name:   jn.Name,
+		Level:  Level(jn.Level),
+		Budget: jn.Budget,
+		parent: parent,
+	}
+	if len(jn.Instances) > 0 {
+		n.Instances = append([]string(nil), jn.Instances...)
+	}
+	for _, c := range jn.Children {
+		n.Children = append(n.Children, fromJSON(c, n))
+	}
+	return n
+}
+
+// Save writes the tree (topology, budgets and placement) as JSON.
+func (n *Node) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSON(n))
+}
+
+// LoadTree reads a tree written by Save and validates it.
+func LoadTree(r io.Reader) (*Node, error) {
+	var jn jsonNode
+	if err := json.NewDecoder(r).Decode(&jn); err != nil {
+		return nil, fmt.Errorf("powertree: decoding tree: %w", err)
+	}
+	n := fromJSON(&jn, nil)
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("powertree: loaded tree invalid: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,62 @@
+package powertree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTreeSaveLoadRoundTrip(t *testing.T) {
+	root, err := Build(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAttach(t, root.Leaves()[0], "a")
+	mustAttach(t, root.Leaves()[3], "b")
+
+	var buf bytes.Buffer
+	if err := root.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != root.Name || back.Budget != root.Budget {
+		t.Fatalf("root mismatch: %+v", back)
+	}
+	if back.InstanceCount() != 2 {
+		t.Fatalf("instances = %d", back.InstanceCount())
+	}
+	// Structure preserved: same names at every position, parents rebuilt.
+	wantLeaves := root.Leaves()
+	gotLeaves := back.Leaves()
+	if len(gotLeaves) != len(wantLeaves) {
+		t.Fatalf("leaves = %d", len(gotLeaves))
+	}
+	for i := range gotLeaves {
+		if gotLeaves[i].Name != wantLeaves[i].Name {
+			t.Fatalf("leaf %d name %q vs %q", i, gotLeaves[i].Name, wantLeaves[i].Name)
+		}
+		if gotLeaves[i].Parent() == nil {
+			t.Fatal("parent links not rebuilt")
+		}
+	}
+	if got := gotLeaves[0].Instances[0]; got != "a" {
+		t.Fatalf("instance placement lost: %v", got)
+	}
+}
+
+func TestLoadTreeErrors(t *testing.T) {
+	if _, err := LoadTree(strings.NewReader("{")); err == nil {
+		t.Fatal("corrupt JSON must error")
+	}
+	// Structurally invalid: child budget exceeds parent's.
+	bad := `{"name":"r","level":0,"budget":10,"children":[{"name":"c","level":4,"budget":100}]}`
+	if _, err := LoadTree(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid loaded tree must fail validation")
+	}
+}

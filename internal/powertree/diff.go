@@ -1,0 +1,119 @@
+package powertree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Move records one instance whose hosting leaf differs between two
+// placements of the same tree topology.
+type Move struct {
+	// InstanceID is the moved instance.
+	InstanceID string
+	// From and To are the hosting leaf names in the old and new placement
+	// (empty if the instance is absent on that side).
+	From, To string
+}
+
+// DiffPlacements compares the instance placements of two trees with the
+// same topology and returns the moves that turn a's placement into b's,
+// sorted by instance ID. Instances present on only one side appear with an
+// empty From or To.
+func DiffPlacements(a, b *Node) ([]Move, error) {
+	locA, err := leafOf(a)
+	if err != nil {
+		return nil, fmt.Errorf("powertree: diff left: %w", err)
+	}
+	locB, err := leafOf(b)
+	if err != nil {
+		return nil, fmt.Errorf("powertree: diff right: %w", err)
+	}
+	ids := make(map[string]bool, len(locA)+len(locB))
+	for id := range locA {
+		ids[id] = true
+	}
+	for id := range locB {
+		ids[id] = true
+	}
+	var moves []Move
+	for id := range ids {
+		from, to := locA[id], locB[id]
+		if from != to {
+			moves = append(moves, Move{InstanceID: id, From: from, To: to})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].InstanceID < moves[j].InstanceID })
+	return moves, nil
+}
+
+// leafOf maps every instance to its hosting leaf, rejecting duplicates.
+func leafOf(root *Node) (map[string]string, error) {
+	out := make(map[string]string)
+	var err error
+	root.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		for _, id := range n.Instances {
+			if prev, ok := out[id]; ok {
+				err = fmt.Errorf("instance %q hosted on both %q and %q", id, prev, n.Name)
+				return
+			}
+			out[id] = n.Name
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MigrationCost summarises a placement change: how many instances move and
+// how far up the tree the move reaches (moves within one SB are cheaper
+// than cross-suite moves — they stay on the same network fabric).
+type MigrationCost struct {
+	// Moves is the total number of relocated instances.
+	Moves int
+	// ByLevel counts moves by the level of the lowest common ancestor of
+	// the source and destination leaves: a move with LCA at SB stays inside
+	// one SB, a move with LCA at DC crosses suites.
+	ByLevel map[Level]int
+}
+
+// CostOfMoves classifies each move by the lowest common ancestor of its
+// endpoints within the given tree.
+func CostOfMoves(tree *Node, moves []Move) (MigrationCost, error) {
+	cost := MigrationCost{ByLevel: make(map[Level]int)}
+	for _, m := range moves {
+		if m.From == "" || m.To == "" {
+			cost.Moves++
+			cost.ByLevel[DC]++ // arrivals/departures count as datacenter-level
+			continue
+		}
+		from := tree.Find(m.From)
+		to := tree.Find(m.To)
+		if from == nil || to == nil {
+			return MigrationCost{}, fmt.Errorf("powertree: move endpoints %q→%q not in tree", m.From, m.To)
+		}
+		lca := lowestCommonAncestor(from, to)
+		if lca == nil {
+			return MigrationCost{}, fmt.Errorf("powertree: no common ancestor for %q and %q", m.From, m.To)
+		}
+		cost.Moves++
+		cost.ByLevel[lca.Level]++
+	}
+	return cost, nil
+}
+
+func lowestCommonAncestor(a, b *Node) *Node {
+	seen := make(map[*Node]bool)
+	for n := a; n != nil; n = n.Parent() {
+		seen[n] = true
+	}
+	for n := b; n != nil; n = n.Parent() {
+		if seen[n] {
+			return n
+		}
+	}
+	return nil
+}

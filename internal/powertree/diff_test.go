@@ -1,0 +1,111 @@
+package powertree
+
+import (
+	"testing"
+)
+
+func diffFixture(t *testing.T) (*Node, *Node) {
+	t.Helper()
+	spec := TopologySpec{Name: "d", SuitesPerDC: 2, MSBsPerSuite: 1, SBsPerMSB: 2, RPPsPerSB: 2, LeafBudget: 100}
+	a, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestDiffPlacementsEmpty(t *testing.T) {
+	a, b := diffFixture(t)
+	moves, err := DiffPlacements(a, b)
+	if err != nil || len(moves) != 0 {
+		t.Fatalf("empty diff: %v %v", moves, err)
+	}
+}
+
+func TestDiffPlacementsMoves(t *testing.T) {
+	a, b := diffFixture(t)
+	la, lb := a.Leaves(), b.Leaves()
+	// same leaf: no move; different leaf: move; one-sided instances.
+	mustAttach(t, la[0], "same")
+	mustAttach(t, lb[0], "same")
+	mustAttach(t, la[0], "mover")
+	mustAttach(t, lb[3], "mover")
+	mustAttach(t, la[1], "leaver")
+	mustAttach(t, lb[2], "joiner")
+
+	moves, err := DiffPlacements(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 3 {
+		t.Fatalf("moves = %+v", moves)
+	}
+	// Sorted by ID: joiner, leaver, mover.
+	if moves[0].InstanceID != "joiner" || moves[0].From != "" || moves[0].To != lb[2].Name {
+		t.Fatalf("joiner: %+v", moves[0])
+	}
+	if moves[1].InstanceID != "leaver" || moves[1].From != la[1].Name || moves[1].To != "" {
+		t.Fatalf("leaver: %+v", moves[1])
+	}
+	if moves[2].InstanceID != "mover" || moves[2].From != la[0].Name || moves[2].To != lb[3].Name {
+		t.Fatalf("mover: %+v", moves[2])
+	}
+}
+
+func TestDiffPlacementsDuplicate(t *testing.T) {
+	a, b := diffFixture(t)
+	mustAttach(t, a.Leaves()[0], "dup")
+	mustAttach(t, a.Leaves()[1], "dup")
+	if _, err := DiffPlacements(a, b); err == nil {
+		t.Fatal("duplicate hosting must error")
+	}
+}
+
+func TestCostOfMoves(t *testing.T) {
+	a, b := diffFixture(t)
+	la, lb := a.Leaves(), b.Leaves()
+	// Leaves: s0/b0/r0, s0/b0/r1, s0/b1/r0, s0/b1/r1, s1/...
+	mustAttach(t, la[0], "inSB")   // s0/m0/b0/r0
+	mustAttach(t, lb[1], "inSB")   // s0/m0/b0/r1 → LCA at SB
+	mustAttach(t, la[0], "inMSB")  // s0/m0/b0/r0
+	mustAttach(t, lb[2], "inMSB")  // s0/m0/b1/r0 → LCA at MSB
+	mustAttach(t, la[0], "xSuite") // s0...
+	mustAttach(t, lb[4], "xSuite") // s1... → LCA at DC
+
+	moves, err := DiffPlacements(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := CostOfMoves(a, moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Moves != 3 {
+		t.Fatalf("moves = %d", cost.Moves)
+	}
+	if cost.ByLevel[SB] != 1 || cost.ByLevel[MSB] != 1 || cost.ByLevel[DC] != 1 {
+		t.Fatalf("by level: %+v", cost.ByLevel)
+	}
+}
+
+func TestCostOfMovesOneSided(t *testing.T) {
+	a, _ := diffFixture(t)
+	cost, err := CostOfMoves(a, []Move{{InstanceID: "x", From: "", To: a.Leaves()[0].Name}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.ByLevel[DC] != 1 {
+		t.Fatalf("one-sided move: %+v", cost)
+	}
+}
+
+func TestCostOfMovesBadEndpoints(t *testing.T) {
+	a, _ := diffFixture(t)
+	if _, err := CostOfMoves(a, []Move{{InstanceID: "x", From: "nope", To: a.Leaves()[0].Name}}); err == nil {
+		t.Fatal("unknown endpoint must error")
+	}
+}

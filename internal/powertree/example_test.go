@@ -1,0 +1,54 @@
+package powertree_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/powertree"
+	"repro/internal/timeseries"
+)
+
+// Building the four-level OCP-style tree and reading the fragmentation
+// indicator (sum of leaf peaks) for a placement.
+func ExampleBuild() {
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name:        "dc",
+		SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2,
+		LeafBudget: 100,
+	})
+	if err != nil {
+		panic(err)
+	}
+	leaves := tree.Leaves()
+	_ = leaves[0].Attach("web-0") // peaks by day
+	_ = leaves[0].Attach("web-1") // peaks by day — same leaf: fragmented
+	_ = leaves[1].Attach("db-0")  // peaks by night
+	_ = leaves[1].Attach("db-1")  // peaks by night
+
+	start := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	traces := map[string]timeseries.Series{
+		"web-0": timeseries.New(start, time.Hour, []float64{30, 5}),
+		"web-1": timeseries.New(start, time.Hour, []float64{30, 5}),
+		"db-0":  timeseries.New(start, time.Hour, []float64{5, 30}),
+		"db-1":  timeseries.New(start, time.Hour, []float64{5, 30}),
+	}
+	power := func(id string) (timeseries.Series, bool) {
+		tr, ok := traces[id]
+		return tr, ok
+	}
+	fragmented, _ := tree.SumOfPeaks(powertree.RPP, power)
+
+	// Defragment: one web + one db per leaf.
+	tree.ClearInstances()
+	_ = leaves[0].Attach("web-0")
+	_ = leaves[0].Attach("db-0")
+	_ = leaves[1].Attach("web-1")
+	_ = leaves[1].Attach("db-1")
+	smooth, _ := tree.SumOfPeaks(powertree.RPP, power)
+
+	fmt.Printf("sum of leaf peaks, fragmented: %.0f\n", fragmented)
+	fmt.Printf("sum of leaf peaks, mixed:      %.0f\n", smooth)
+	// Output:
+	// sum of leaf peaks, fragmented: 120
+	// sum of leaf peaks, mixed:      70
+}

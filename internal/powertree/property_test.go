@@ -1,0 +1,129 @@
+package powertree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// TestAggregationLinearityProperty: the aggregate of a parent equals the
+// element-wise sum of its children's aggregates, and root sum-of-peaks is
+// invariant under any redistribution of instances across leaves.
+func TestAggregationLinearityProperty(t *testing.T) {
+	base := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		spec := TopologySpec{
+			Name:        "p",
+			SuitesPerDC: rng.Intn(2) + 1, MSBsPerSuite: rng.Intn(2) + 1,
+			SBsPerMSB: rng.Intn(2) + 1, RPPsPerSB: rng.Intn(3) + 1,
+			LeafBudget: 1000,
+		}
+		tree, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves := tree.Leaves()
+		nInst := rng.Intn(20) + 2
+		traces := make(map[string]timeseries.Series, nInst)
+		ids := make([]string, nInst)
+		n := rng.Intn(30) + 2
+		for i := 0; i < nInst; i++ {
+			id := string(rune('a'+i%26)) + string(rune('0'+i/26))
+			ids[i] = id
+			s := timeseries.Zeros(base, time.Minute, n)
+			for j := range s.Values {
+				s.Values[j] = rng.Float64() * 100
+			}
+			traces[id] = s
+			if err := leaves[rng.Intn(len(leaves))].Attach(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pf := func(id string) (timeseries.Series, bool) {
+			s, ok := traces[id]
+			return s, ok
+		}
+
+		// Parent aggregate = Σ children aggregates, at every interior node.
+		var check func(nd *Node)
+		var fail bool
+		check = func(nd *Node) {
+			if fail || nd.IsLeaf() {
+				return
+			}
+			parentAgg, _, err := nd.AggregatePower(pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum timeseries.Series
+			started := false
+			for _, c := range nd.Children {
+				childAgg, _, err := c.AggregatePower(pf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if childAgg.Empty() {
+					continue
+				}
+				if !started {
+					sum = childAgg.Clone()
+					started = true
+				} else if err := sum.AddInPlace(childAgg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if started != !parentAgg.Empty() {
+				t.Fatalf("trial %d: emptiness mismatch at %s", trial, nd.Name)
+			}
+			if started {
+				for i := range sum.Values {
+					if math.Abs(sum.Values[i]-parentAgg.Values[i]) > 1e-9 {
+						fail = true
+						t.Fatalf("trial %d: linearity broken at %s index %d", trial, nd.Name, i)
+					}
+				}
+			}
+			for _, c := range nd.Children {
+				check(c)
+			}
+		}
+		check(tree)
+
+		// Root peak is placement-invariant: shuffle instances to new leaves.
+		rootPeakBefore, err := tree.PeakPower(pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree.ClearInstances()
+		for _, id := range ids {
+			if err := leaves[rng.Intn(len(leaves))].Attach(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rootPeakAfter, err := tree.PeakPower(pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rootPeakBefore-rootPeakAfter) > 1e-9 {
+			t.Fatalf("trial %d: root peak changed by redistribution: %v vs %v",
+				trial, rootPeakBefore, rootPeakAfter)
+		}
+
+		// Sum of peaks is monotone down the tree: finer levels ≥ coarser.
+		prev := 0.0
+		for _, level := range Levels {
+			s, err := tree.SumOfPeaks(level, pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s < prev-1e-9 {
+				t.Fatalf("trial %d: sum of peaks not monotone at %s: %v < %v", trial, level, s, prev)
+			}
+			prev = s
+		}
+	}
+}

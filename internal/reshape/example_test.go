@@ -1,0 +1,25 @@
+package reshape_test
+
+import (
+	"fmt"
+
+	"repro/internal/reshape"
+	"repro/internal/sim"
+)
+
+// The history-based conversion policy (§4.2) keeps conversion servers on
+// Batch duty off-peak and converts just enough of them to LC at peak.
+func ExampleConversion_Decide() {
+	policy := reshape.Conversion{NLC: 100, Pool: 13, Lconv: 0.85}
+
+	offPeak := policy.Decide(sim.State{OfferedLoad: 40}) // 0.40 per server
+	peak := policy.Decide(sim.State{OfferedLoad: 93})    // would be 0.93 per server
+
+	fmt.Println("off-peak conversions:", offPeak.ConvLC)
+	fmt.Println("peak conversions:    ", peak.ConvLC)
+	fmt.Printf("peak per-server load: %.2f\n", 93.0/float64(100+peak.ConvLC))
+	// Output:
+	// off-peak conversions: 0
+	// peak conversions:     13
+	// peak per-server load: 0.82
+}

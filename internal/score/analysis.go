@@ -1,0 +1,125 @@
+package score
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/timeseries"
+)
+
+// Pair is a scored pair of named traces.
+type Pair struct {
+	// A and B are the pair's names.
+	A, B string
+	// Score is their pairwise asynchrony score (Eq. 7).
+	Score float64
+}
+
+// Matrix holds all pairwise asynchrony scores over a set of named traces —
+// the full I-to-I (or S-to-S) structure §3.4 deems too expensive to compute
+// for every instance, offered here for the service level where it is cheap
+// and informative.
+type Matrix struct {
+	// Names indexes the rows/columns.
+	Names []string
+	// Scores[i][j] is the pairwise score of Names[i] and Names[j];
+	// the diagonal is 1 (a trace against itself is perfectly synchronous).
+	Scores [][]float64
+}
+
+// NewMatrix computes the pairwise score matrix. Traces are normalized to a
+// common peak before scoring so the matrix captures timing only.
+func NewMatrix(names []string, traces map[string]timeseries.Series) (*Matrix, error) {
+	if len(names) == 0 {
+		return nil, ErrNoTraces
+	}
+	normalized := make([]timeseries.Series, len(names))
+	for i, name := range names {
+		tr, ok := traces[name]
+		if !ok {
+			return nil, fmt.Errorf("score: no trace named %q", name)
+		}
+		if tr.Peak() <= 0 {
+			return nil, fmt.Errorf("%w: %q", ErrZeroPeak, name)
+		}
+		normalized[i] = tr.NormalizeTo(1)
+	}
+	m := &Matrix{Names: append([]string(nil), names...), Scores: make([][]float64, len(names))}
+	for i := range m.Scores {
+		m.Scores[i] = make([]float64, len(names))
+		m.Scores[i][i] = 1
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			s, err := Pairwise(normalized[i], normalized[j])
+			if err != nil {
+				return nil, fmt.Errorf("score: pair (%q, %q): %w", names[i], names[j], err)
+			}
+			m.Scores[i][j] = s
+			m.Scores[j][i] = s
+		}
+	}
+	return m, nil
+}
+
+// At returns the score of a named pair.
+func (m *Matrix) At(a, b string) (float64, error) {
+	ia, ib := -1, -1
+	for i, n := range m.Names {
+		if n == a {
+			ia = i
+		}
+		if n == b {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("score: unknown name in pair (%q, %q)", a, b)
+	}
+	return m.Scores[ia][ib], nil
+}
+
+// BestPairs returns the top-n most complementary (highest-score) distinct
+// pairs — the "which services should share a power node" answer.
+func (m *Matrix) BestPairs(n int) []Pair {
+	return m.rankedPairs(n, func(a, b float64) bool { return a > b })
+}
+
+// WorstPairs returns the top-n most synchronous (lowest-score) distinct
+// pairs — the groupings a placement must avoid.
+func (m *Matrix) WorstPairs(n int) []Pair {
+	return m.rankedPairs(n, func(a, b float64) bool { return a < b })
+}
+
+func (m *Matrix) rankedPairs(n int, better func(a, b float64) bool) []Pair {
+	var pairs []Pair
+	for i := 0; i < len(m.Names); i++ {
+		for j := i + 1; j < len(m.Names); j++ {
+			pairs = append(pairs, Pair{A: m.Names[i], B: m.Names[j], Score: m.Scores[i][j]})
+		}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return better(pairs[a].Score, pairs[b].Score) })
+	if n > len(pairs) {
+		n = len(pairs)
+	}
+	return pairs[:n]
+}
+
+// MeanOffDiagonal returns the average pairwise score — a one-number summary
+// of how much complementarity a trace set offers (the datacenter-level
+// "opportunity" of §2.3).
+func (m *Matrix) MeanOffDiagonal() float64 {
+	n := len(m.Names)
+	if n < 2 {
+		return 1
+	}
+	var sum float64
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += m.Scores[i][j]
+			count++
+		}
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,102 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+func analysisTraces() map[string]timeseries.Series {
+	return map[string]timeseries.Series{
+		"day":   mk(10, 8, 1, 1),
+		"day2":  mk(9, 10, 1, 2),
+		"night": mk(1, 1, 10, 9),
+	}
+}
+
+func TestNewMatrix(t *testing.T) {
+	m, err := NewMatrix([]string{"day", "day2", "night"}, analysisTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal is 1.
+	for i := range m.Names {
+		if m.Scores[i][i] != 1 {
+			t.Fatalf("diagonal: %v", m.Scores)
+		}
+	}
+	// Symmetric.
+	for i := range m.Names {
+		for j := range m.Names {
+			if m.Scores[i][j] != m.Scores[j][i] {
+				t.Fatal("matrix not symmetric")
+			}
+		}
+	}
+	dd, err := m.At("day", "day2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := m.At("day", "night")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn <= dd {
+		t.Fatalf("day/night %v must be more complementary than day/day2 %v", dn, dd)
+	}
+	if _, err := m.At("day", "nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestMatrixErrors(t *testing.T) {
+	if _, err := NewMatrix(nil, nil); err != ErrNoTraces {
+		t.Fatalf("empty names: %v", err)
+	}
+	if _, err := NewMatrix([]string{"missing"}, analysisTraces()); err == nil {
+		t.Fatal("missing trace must error")
+	}
+	bad := analysisTraces()
+	bad["zero"] = mk(0, 0, 0, 0)
+	if _, err := NewMatrix([]string{"day", "zero"}, bad); err == nil {
+		t.Fatal("zero-peak trace must error")
+	}
+}
+
+func TestBestWorstPairs(t *testing.T) {
+	m, err := NewMatrix([]string{"day", "day2", "night"}, analysisTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := m.BestPairs(1)
+	if len(best) != 1 || best[0].B != "night" && best[0].A != "night" {
+		t.Fatalf("best pair must involve night: %+v", best)
+	}
+	worst := m.WorstPairs(1)
+	if len(worst) != 1 || worst[0].A != "day" || worst[0].B != "day2" {
+		t.Fatalf("worst pair: %+v", worst)
+	}
+	// n larger than available clamps.
+	if got := m.BestPairs(99); len(got) != 3 {
+		t.Fatalf("clamp: %d", len(got))
+	}
+}
+
+func TestMeanOffDiagonal(t *testing.T) {
+	m, err := NewMatrix([]string{"day", "night"}, analysisTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, _ := m.At("day", "night")
+	if math.Abs(m.MeanOffDiagonal()-dn) > 1e-12 {
+		t.Fatalf("mean of one pair: %v vs %v", m.MeanOffDiagonal(), dn)
+	}
+	single, err := NewMatrix([]string{"day"}, analysisTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.MeanOffDiagonal() != 1 {
+		t.Fatal("singleton mean must be 1")
+	}
+}

@@ -1,0 +1,48 @@
+package score_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/score"
+	"repro/internal/timeseries"
+)
+
+// The worked example of the paper's Fig. 3: two perfectly synchronous
+// instances score 1.0; swapping one for an anti-phase instance scores 2.0.
+func ExampleAsynchrony() {
+	start := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	day := timeseries.New(start, time.Minute, []float64{10, 0})
+	day2 := timeseries.New(start, time.Minute, []float64{10, 0})
+	night := timeseries.New(start, time.Minute, []float64{0, 10})
+
+	sync, _ := score.Asynchrony(day, day2)
+	anti, _ := score.Asynchrony(day, night)
+	fmt.Printf("synchronous pair: %.1f\n", sync)
+	fmt.Printf("anti-phase pair:  %.1f\n", anti)
+	// Output:
+	// synchronous pair: 1.0
+	// anti-phase pair:  2.0
+}
+
+// Differential asynchrony (§3.6) identifies whether an instance fits the
+// power node it lives on.
+func ExampleDifferential() {
+	start := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	instance := timeseries.New(start, time.Minute, []float64{10, 0})
+	synchronousPeers := []timeseries.Series{
+		timeseries.New(start, time.Minute, []float64{8, 0}),
+		timeseries.New(start, time.Minute, []float64{6, 0}),
+	}
+	antiPhasePeers := []timeseries.Series{
+		timeseries.New(start, time.Minute, []float64{0, 8}),
+		timeseries.New(start, time.Minute, []float64{0, 6}),
+	}
+	bad, _ := score.Differential(instance, synchronousPeers)
+	good, _ := score.Differential(instance, antiPhasePeers)
+	fmt.Printf("against synchronous node: %.1f\n", bad)
+	fmt.Printf("against anti-phase node:  %.1f\n", good)
+	// Output:
+	// against synchronous node: 1.0
+	// against anti-phase node:  1.7
+}

@@ -1,0 +1,160 @@
+// Package score implements the paper's asynchrony-score machinery (§3.4):
+// the asynchrony score function over a set of power traces (Eq. 6), pairwise
+// scores (Eq. 7), instance-to-service (I-to-S) score vectors that embed
+// every instance into the |B|-dimensional space spanned by the top-consumer
+// S-traces, and the differential asynchrony score against a power node used
+// by incremental remapping (§3.6).
+package score
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// Errors returned by scoring functions.
+var (
+	ErrNoTraces = errors.New("score: no traces")
+	ErrZeroPeak = errors.New("score: trace with non-positive peak")
+)
+
+// Asynchrony computes the asynchrony score of a set of power traces
+// (Eq. 6):
+//
+//	A_M = Σ_{j∈M} peak(P_j) / peak(Σ_{j∈M} P_j)
+//
+// The score is 1.0 when every component peaks simultaneously and approaches
+// |M| as peaks interleave perfectly; higher is better. All traces must have
+// positive peaks (a trace that never draws power carries no signal and
+// would produce a degenerate ratio).
+func Asynchrony(traces ...timeseries.Series) (float64, error) {
+	if len(traces) == 0 {
+		return 0, ErrNoTraces
+	}
+	var sumPeaks float64
+	agg := traces[0].Clone()
+	for i, tr := range traces {
+		p := tr.Peak()
+		if p <= 0 {
+			return 0, fmt.Errorf("%w (index %d)", ErrZeroPeak, i)
+		}
+		sumPeaks += p
+		if i > 0 {
+			if err := agg.AddInPlace(tr); err != nil {
+				return 0, fmt.Errorf("score: aggregating trace %d: %w", i, err)
+			}
+		}
+	}
+	aggPeak := agg.Peak()
+	if aggPeak <= 0 {
+		return 0, ErrZeroPeak
+	}
+	return sumPeaks / aggPeak, nil
+}
+
+// Pairwise computes the asynchrony score between two traces (Eq. 7).
+func Pairwise(a, b timeseries.Series) (float64, error) {
+	return Asynchrony(a, b)
+}
+
+// Vector computes the I-to-S asynchrony score vector of an instance trace
+// against the service S-traces (§3.4): element i is the pairwise score
+// between the instance's averaged I-trace and S-trace i. Each S-trace is
+// normalized to the instance's peak before scoring so the vector reflects
+// *timing* dissimilarity, not magnitude: an instance should not look
+// "asynchronous" with a service merely because that service's S-trace is
+// orders of magnitude larger.
+func Vector(instance timeseries.Series, straces []timeseries.Series) ([]float64, error) {
+	if len(straces) == 0 {
+		return nil, ErrNoTraces
+	}
+	ip := instance.Peak()
+	if ip <= 0 {
+		return nil, ErrZeroPeak
+	}
+	v := make([]float64, len(straces))
+	for i, st := range straces {
+		normalized := st.NormalizeTo(ip)
+		s, err := Pairwise(instance, normalized)
+		if err != nil {
+			return nil, fmt.Errorf("score: S-trace %d: %w", i, err)
+		}
+		v[i] = s
+	}
+	return v, nil
+}
+
+// Vectors computes the score vector of every instance in order. All
+// instances are scored against the same basis, yielding the embedding fed
+// to k-means in the placement step.
+func Vectors(instances []timeseries.Series, straces []timeseries.Series) ([][]float64, error) {
+	out := make([][]float64, len(instances))
+	for i, inst := range instances {
+		v, err := Vector(inst, straces)
+		if err != nil {
+			return nil, fmt.Errorf("score: instance %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Differential computes the differential asynchrony score of an instance
+// against a power node (§3.6):
+//
+//	AD_{i,N} = (peak(PI_i) + peak(PA_{i,N})) / peak(PI_i + PA_{i,N})
+//
+// where PA is the averaged aggregate power trace of the node's other
+// instances: (Σ_{j∈S_N, j≠i} PI_j) / |S_N − 1|. peers must contain the
+// traces of the node's instances excluding i.
+func Differential(instance timeseries.Series, peers []timeseries.Series) (float64, error) {
+	if len(peers) == 0 {
+		return 0, ErrNoTraces
+	}
+	avg, err := timeseries.Mean(peers...)
+	if err != nil {
+		return 0, fmt.Errorf("score: averaging %d peers: %w", len(peers), err)
+	}
+	return Pairwise(instance, avg)
+}
+
+// ServiceTraces builds the S-trace (Eq. 5) for each named service: the mean
+// of the averaged I-traces of the service's instances. instancesByService
+// maps service name → that service's averaged I-traces. Services are
+// emitted in the order given by services.
+func ServiceTraces(services []string, instancesByService map[string][]timeseries.Series) ([]timeseries.Series, error) {
+	out := make([]timeseries.Series, 0, len(services))
+	for _, svc := range services {
+		traces := instancesByService[svc]
+		if len(traces) == 0 {
+			return nil, fmt.Errorf("score: service %q has no instance traces", svc)
+		}
+		st, err := timeseries.Mean(traces...)
+		if err != nil {
+			return nil, fmt.Errorf("score: service %q: %w", svc, err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// PeakOverlap reports the fraction of time the two traces are simultaneously
+// within frac of their respective peaks — a diagnostic for *why* a pair
+// scores poorly.
+func PeakOverlap(a, b timeseries.Series, frac float64) (float64, error) {
+	if a.Len() != b.Len() || a.Len() == 0 {
+		return 0, ErrNoTraces
+	}
+	pa, pb := a.Peak(), b.Peak()
+	if pa <= 0 || pb <= 0 {
+		return 0, ErrZeroPeak
+	}
+	overlap := 0
+	for i := range a.Values {
+		if a.Values[i] >= frac*pa && b.Values[i] >= frac*pb {
+			overlap++
+		}
+	}
+	return float64(overlap) / float64(a.Len()), nil
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkRunWeek(b *testing.B) {
+	cfg := baseConfig(13, 113*0.85, fixedPolicy{Action{ConvLC: 13, BatchFreq: 1}})
+	cfg.LCLoad = diurnalLoad(7*24*6, 10*time.Minute, 113*0.85) // 10-minute week
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLatencyReport(b *testing.B) {
+	res, err := Run(baseConfig(0, 100*0.85, fixedPolicy{Action{BatchFreq: 1}}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := LatencyModel{ServiceTimeMs: 2, SLAms: 92}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Latency(res, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package sim is the discrete-time datacenter runtime used to evaluate
+// dynamic power profile reshaping (§4, Fig. 12–14).
+//
+// The paper measures its reshaping policies on production serving stacks;
+// this simulator is the substitution: per-step offered LC load drives
+// utilization-linear server power models, a pluggable policy decides how
+// storage-disaggregated conversion servers split between LC and Batch duty
+// and how Batch DVFS is set, and the simulator accounts throughput, QoS and
+// power against the datacenter budget with a capping backstop.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ServerModel maps utilization to power draw. Power is linear in
+// utilization between Idle and Peak — the standard first-order model for
+// CPU-bound serving workloads.
+type ServerModel struct {
+	// Idle is the draw at zero utilization.
+	Idle float64
+	// Peak is the draw at full utilization and nominal frequency.
+	Peak float64
+}
+
+// Validate checks the model.
+func (m ServerModel) Validate() error {
+	if m.Idle < 0 || m.Peak <= 0 || m.Peak < m.Idle {
+		return fmt.Errorf("sim: invalid server model %+v", m)
+	}
+	return nil
+}
+
+// Power returns the draw at the given utilization (clamped to [0, 1]).
+func (m ServerModel) Power(util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return m.Idle + (m.Peak-m.Idle)*util
+}
+
+// DVFS models frequency scaling for Batch servers: relative frequency f
+// multiplies throughput linearly while dynamic power scales ≈ f³ (voltage
+// tracks frequency), the classic CMOS approximation.
+type DVFS struct {
+	// MinFreq and MaxFreq bound the relative frequency; nominal is 1.0.
+	MinFreq, MaxFreq float64
+}
+
+// DefaultDVFS is a conventional ±20% scaling window.
+var DefaultDVFS = DVFS{MinFreq: 0.6, MaxFreq: 1.2}
+
+// Validate checks the DVFS window.
+func (d DVFS) Validate() error {
+	if d.MinFreq <= 0 || d.MaxFreq < d.MinFreq {
+		return fmt.Errorf("sim: invalid DVFS window %+v", d)
+	}
+	return nil
+}
+
+// Clamp restricts f to the window.
+func (d DVFS) Clamp(f float64) float64 {
+	if f < d.MinFreq {
+		return d.MinFreq
+	}
+	if f > d.MaxFreq {
+		return d.MaxFreq
+	}
+	return f
+}
+
+// Power returns a batch server's draw at utilization 1 and relative
+// frequency f under the given base model.
+func (d DVFS) Power(m ServerModel, f float64) float64 {
+	f = d.Clamp(f)
+	return m.Idle + (m.Peak-m.Idle)*math.Pow(f, 3)
+}
+
+// Throughput returns the relative work rate at frequency f (1.0 = nominal).
+func (d DVFS) Throughput(f float64) float64 {
+	return d.Clamp(f)
+}
+
+// ErrModel is wrapped by configuration validation errors.
+var ErrModel = errors.New("sim: invalid configuration")

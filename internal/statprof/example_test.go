@@ -1,0 +1,19 @@
+package statprof_test
+
+import (
+	"fmt"
+
+	"repro/internal/statprof"
+)
+
+// The four provisioning configurations of Fig. 11, as the paper labels them.
+func ExampleConfig_String() {
+	for _, cfg := range statprof.PaperConfigs {
+		fmt.Println(cfg)
+	}
+	// Output:
+	// (0, 0)
+	// (1, 0.01)
+	// (5, 0.05)
+	// (10, 0.1)
+}

@@ -1,0 +1,103 @@
+package timeseries
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// jsonSeries is the wire form of a Series. Timestamps use RFC 3339 and the
+// step is encoded in seconds so the format is toolchain-friendly.
+type jsonSeries struct {
+	Start       string    `json:"start"`
+	StepSeconds float64   `json:"step_seconds"`
+	Values      []float64 `json:"values"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonSeries{
+		Start:       s.Start.UTC().Format(time.RFC3339),
+		StepSeconds: s.Step.Seconds(),
+		Values:      s.Values,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var js jsonSeries
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	start, err := time.Parse(time.RFC3339, js.Start)
+	if err != nil {
+		return fmt.Errorf("timeseries: bad start timestamp: %w", err)
+	}
+	s.Start = start
+	s.Step = time.Duration(js.StepSeconds * float64(time.Second))
+	s.Values = js.Values
+	return nil
+}
+
+// WriteCSV writes the series as rows of "rfc3339-timestamp,value".
+func (s Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	for i, v := range s.Values {
+		rec := []string{
+			s.TimeAt(i).UTC().Format(time.RFC3339),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a series written by WriteCSV. The step is inferred from the
+// first two rows; a single-row file gets a one-minute step.
+func ReadCSV(r io.Reader) (Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var times []time.Time
+	var values []float64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Series{}, err
+		}
+		t, err := time.Parse(time.RFC3339, rec[0])
+		if err != nil {
+			return Series{}, fmt.Errorf("timeseries: bad timestamp %q: %w", rec[0], err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return Series{}, fmt.Errorf("timeseries: bad value %q: %w", rec[1], err)
+		}
+		times = append(times, t)
+		values = append(values, v)
+	}
+	if len(values) == 0 {
+		return Series{}, ErrEmpty
+	}
+	step := Minute
+	if len(times) > 1 {
+		step = times[1].Sub(times[0])
+		if step <= 0 {
+			return Series{}, ErrStepInvalid
+		}
+	}
+	return Series{Start: times[0], Step: step, Values: values}, nil
+}

@@ -1,0 +1,92 @@
+package timeseries
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := New(t0, Minute, []float64{1.5, 2.25, -3})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Start.Equal(s.Start) || back.Step != s.Step || back.Len() != s.Len() {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, s)
+	}
+	for i := range s.Values {
+		if back.Values[i] != s.Values[i] {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONBadInput(t *testing.T) {
+	var s Series
+	if err := json.Unmarshal([]byte(`{"start":"not-a-time","step_seconds":60,"values":[1]}`), &s); err == nil {
+		t.Fatal("bad timestamp must error")
+	}
+	if err := json.Unmarshal([]byte(`{`), &s); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := New(t0, 5*Minute, []float64{1, 2.5, 3})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Step != 5*Minute || back.Len() != 3 {
+		t.Fatalf("CSV round trip: %+v", back)
+	}
+	for i := range s.Values {
+		if math.Abs(back.Values[i]-s.Values[i]) > 1e-12 {
+			t.Fatalf("value %d mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVSingleRow(t *testing.T) {
+	in := t0.Format(time.RFC3339) + ",7\n"
+	s, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Step != Minute || s.Values[0] != 7 {
+		t.Fatalf("single row: %+v", s)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // empty
+		"bogus,1\n",                            // bad timestamp
+		t0.Format(time.RFC3339) + ",bogus\n",   // bad value
+		t0.Format(time.RFC3339) + ",1,extra\n", // wrong field count
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadCSVNonMonotonicStep(t *testing.T) {
+	in := t0.Add(Minute).Format(time.RFC3339) + ",1\n" + t0.Format(time.RFC3339) + ",2\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("reversed timestamps must error")
+	}
+}

@@ -1,0 +1,107 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DiurnalStats summarises a trace's daily rhythm — the quantities the
+// workload characterization of §2.3 reads off Fig. 6: when a service peaks,
+// how strongly it swings, and how repeatable its days are.
+type DiurnalStats struct {
+	// PeakHour is the mean hour-of-day of the daily maximum, on the
+	// 24-hour circle.
+	PeakHour float64
+	// TroughHour is the mean hour-of-day of the daily minimum.
+	TroughHour float64
+	// SwingRatio is (mean daily max − mean daily min) / mean daily max;
+	// 0 for a flat trace, →1 for a deeply diurnal one.
+	SwingRatio float64
+	// DayToDayCorrelation is the mean Pearson correlation between
+	// consecutive days — high for repeatable diurnal workloads.
+	DayToDayCorrelation float64
+	// Days is how many whole days the statistics cover.
+	Days int
+}
+
+// Diurnal computes daily-rhythm statistics over whole days of the series.
+// The series must cover at least one whole day; a trailing partial day is
+// ignored.
+func (s Series) Diurnal() (DiurnalStats, error) {
+	if s.Step <= 0 {
+		return DiurnalStats{}, ErrStepInvalid
+	}
+	perDay := int(24 * time.Hour / s.Step)
+	if perDay == 0 || s.Len() < perDay {
+		return DiurnalStats{}, fmt.Errorf("timeseries: Diurnal needs ≥1 whole day (%d < %d readings)", s.Len(), perDay)
+	}
+	days := s.Len() / perDay
+	var maxSum, minSum float64
+	// Circular means of peak/trough positions.
+	var peakSin, peakCos, troughSin, troughCos float64
+	var corrSum float64
+	corrN := 0
+	var prev Series
+	for d := 0; d < days; d++ {
+		day := s.Slice(d*perDay, (d+1)*perDay)
+		maxI, minI := 0, 0
+		for i, v := range day.Values {
+			if v > day.Values[maxI] {
+				maxI = i
+			}
+			if v < day.Values[minI] {
+				minI = i
+			}
+		}
+		maxSum += day.Values[maxI]
+		minSum += day.Values[minI]
+		hourOf := func(i int) float64 {
+			t := day.TimeAt(i)
+			return float64(t.Hour()) + float64(t.Minute())/60
+		}
+		pa := hourOf(maxI) / 24 * 2 * math.Pi
+		ta := hourOf(minI) / 24 * 2 * math.Pi
+		peakSin += math.Sin(pa)
+		peakCos += math.Cos(pa)
+		troughSin += math.Sin(ta)
+		troughCos += math.Cos(ta)
+		if d > 0 {
+			if r, err := Correlation(prev, day); err == nil {
+				corrSum += r
+				corrN++
+			}
+		}
+		prev = day
+	}
+	stats := DiurnalStats{Days: days}
+	meanMax := maxSum / float64(days)
+	meanMin := minSum / float64(days)
+	if meanMax > 0 {
+		stats.SwingRatio = (meanMax - meanMin) / meanMax
+	}
+	stats.PeakHour = circularHour(peakSin, peakCos)
+	stats.TroughHour = circularHour(troughSin, troughCos)
+	if corrN > 0 {
+		stats.DayToDayCorrelation = corrSum / float64(corrN)
+	}
+	return stats, nil
+}
+
+func circularHour(sinSum, cosSum float64) float64 {
+	h := math.Atan2(sinSum, cosSum) / (2 * math.Pi) * 24
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+// HourDistance returns the circular distance between two hours-of-day, in
+// [0, 12].
+func HourDistance(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 24)
+	if d > 12 {
+		d = 24 - d
+	}
+	return d
+}

@@ -1,0 +1,51 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzReadCSV checks that arbitrary CSV input never panics and that valid
+// round trips are exact.
+func FuzzReadCSV(f *testing.F) {
+	f.Add(t0.Format(time.RFC3339) + ",1\n" + t0.Add(Minute).Format(time.RFC3339) + ",2\n")
+	f.Add("")
+	f.Add("garbage,more\n")
+	f.Add(t0.Format(time.RFC3339) + ",NaN\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever parsed must re-serialize and re-parse to the same values.
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("parsed series failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("round trip length %d != %d", back.Len(), s.Len())
+		}
+	})
+}
+
+// FuzzSeriesJSON checks the JSON codec against arbitrary bytes.
+func FuzzSeriesJSON(f *testing.F) {
+	f.Add([]byte(`{"start":"2016-07-25T00:00:00Z","step_seconds":60,"values":[1,2,3]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"start":"bogus"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Series
+		if err := s.UnmarshalJSON(data); err != nil {
+			return
+		}
+		if _, err := s.MarshalJSON(); err != nil {
+			t.Fatalf("parsed series failed to marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package timeseries
+
+import (
+	"fmt"
+	"time"
+)
+
+// Autocorrelation returns the normalized autocorrelation of the series at
+// the given lag (in readings): corr(x_t, x_{t+lag}) ∈ [−1, 1]. A strongly
+// diurnal trace has a pronounced maximum at one day's lag.
+func (s Series) Autocorrelation(lag int) (float64, error) {
+	if s.Empty() {
+		return 0, ErrEmpty
+	}
+	if lag < 0 || lag >= s.Len() {
+		return 0, fmt.Errorf("timeseries: lag %d outside [0, %d)", lag, s.Len())
+	}
+	if lag == 0 {
+		return 1, nil
+	}
+	mean := s.MeanValue()
+	var num, den float64
+	for _, v := range s.Values {
+		d := v - mean
+		den += d * d
+	}
+	if den == 0 {
+		return 0, nil // constant series: correlation undefined, report 0
+	}
+	for i := 0; i+lag < s.Len(); i++ {
+		num += (s.Values[i] - mean) * (s.Values[i+lag] - mean)
+	}
+	return num / den, nil
+}
+
+// DominantPeriod searches lags in [minLag, maxLag] (as durations) for the
+// autocorrelation maximum and returns the corresponding period and its
+// correlation. For production power traces this lands on 24 h (and on
+// 7 days when searched at week scale) — the periodicities §3.3's
+// time-of-week folding assumes.
+func (s Series) DominantPeriod(minLag, maxLag time.Duration) (time.Duration, float64, error) {
+	if s.Step <= 0 {
+		return 0, 0, ErrStepInvalid
+	}
+	lo := int(minLag / s.Step)
+	hi := int(maxLag / s.Step)
+	if lo < 1 {
+		lo = 1
+	}
+	if hi >= s.Len() {
+		hi = s.Len() - 1
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("timeseries: lag window [%v, %v] empty at step %v", minLag, maxLag, s.Step)
+	}
+	bestLag, bestCorr := lo, -2.0
+	for lag := lo; lag <= hi; lag++ {
+		c, err := s.Autocorrelation(lag)
+		if err != nil {
+			return 0, 0, err
+		}
+		if c > bestCorr {
+			bestCorr, bestLag = c, lag
+		}
+	}
+	return time.Duration(bestLag) * s.Step, bestCorr, nil
+}

@@ -1,0 +1,65 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAutocorrelation(t *testing.T) {
+	s := sineDay(4, time.Hour, 15)
+	// Lag 0 is 1 by definition.
+	if c, err := s.Autocorrelation(0); err != nil || c != 1 {
+		t.Fatalf("lag 0: %v %v", c, err)
+	}
+	// Full-day lag correlates strongly; half-day lag anticorrelates.
+	day, err := s.Autocorrelation(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := s.Autocorrelation(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day < 0.6 {
+		t.Fatalf("day-lag correlation = %v", day)
+	}
+	if half > -0.3 {
+		t.Fatalf("half-day-lag correlation = %v", half)
+	}
+	if _, err := s.Autocorrelation(-1); err == nil {
+		t.Fatal("negative lag must error")
+	}
+	if _, err := s.Autocorrelation(s.Len()); err == nil {
+		t.Fatal("lag beyond series must error")
+	}
+	flat := Constant(t0, time.Hour, 48, 5)
+	if c, err := flat.Autocorrelation(3); err != nil || c != 0 {
+		t.Fatalf("flat series: %v %v", c, err)
+	}
+}
+
+func TestDominantPeriodFindsDay(t *testing.T) {
+	s := sineDay(5, time.Hour, 14)
+	period, corr, err := s.DominantPeriod(6*time.Hour, 40*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(period.Hours()-24) > 1 {
+		t.Fatalf("dominant period = %v, want ≈24h", period)
+	}
+	if corr < 0.6 {
+		t.Fatalf("dominant correlation = %v", corr)
+	}
+}
+
+func TestDominantPeriodErrors(t *testing.T) {
+	s := sineDay(2, time.Hour, 12)
+	if _, _, err := s.DominantPeriod(40*time.Hour, 10*time.Hour); err == nil {
+		t.Fatal("inverted window must error")
+	}
+	bad := Series{Step: 0, Values: []float64{1, 2}}
+	if _, _, err := bad.DominantPeriod(time.Hour, 2*time.Hour); err != ErrStepInvalid {
+		t.Fatalf("zero step: %v", err)
+	}
+}

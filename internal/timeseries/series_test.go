@@ -1,0 +1,400 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC) // a Monday, like the paper's traces
+
+func mk(vals ...float64) Series { return New(t0, Minute, vals) }
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Series
+		ok   bool
+	}{
+		{"valid", mk(1, 2, 3), true},
+		{"empty", New(t0, Minute, nil), false},
+		{"zero step", New(t0, 0, []float64{1}), false},
+		{"negative step", New(t0, -Minute, []float64{1}), false},
+		{"nan", mk(1, math.NaN()), false},
+		{"inf", mk(math.Inf(1)), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.s.Validate()
+			if (err == nil) != c.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestTimeIndexRoundTrip(t *testing.T) {
+	s := Zeros(t0, Minute, 100)
+	for _, i := range []int{0, 1, 50, 99} {
+		got, ok := s.IndexOf(s.TimeAt(i))
+		if !ok || got != i {
+			t.Fatalf("IndexOf(TimeAt(%d)) = %d,%v", i, got, ok)
+		}
+	}
+	if _, ok := s.IndexOf(t0.Add(-time.Second)); ok {
+		t.Fatal("IndexOf before start should fail")
+	}
+	if _, ok := s.IndexOf(s.End()); ok {
+		t.Fatal("IndexOf at End should fail")
+	}
+	if !s.End().Equal(t0.Add(100 * Minute)) {
+		t.Fatalf("End = %v", s.End())
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a, b := mk(1, 2, 3), mk(10, 20, 30)
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11, 22, 33}
+	for i, v := range sum.Values {
+		if v != want[i] {
+			t.Fatalf("Add mismatch at %d: %v", i, sum.Values)
+		}
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range diff.Values {
+		if v != a.Values[i] {
+			t.Fatalf("Sub mismatch at %d: %v", i, diff.Values)
+		}
+	}
+	sc := a.Scale(2)
+	if sc.Values[2] != 6 {
+		t.Fatalf("Scale: %v", sc.Values)
+	}
+	// The inputs must not be mutated.
+	if a.Values[0] != 1 || b.Values[0] != 10 {
+		t.Fatal("inputs mutated")
+	}
+}
+
+func TestAddMismatch(t *testing.T) {
+	a, b := mk(1, 2), mk(1, 2, 3)
+	if _, err := a.Add(b); err != ErrLenMismatch {
+		t.Fatalf("want ErrLenMismatch, got %v", err)
+	}
+	c := New(t0, 2*Minute, []float64{1, 2})
+	if _, err := a.Add(c); err != ErrMisaligned {
+		t.Fatalf("want ErrMisaligned, got %v", err)
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	if _, err := Sum(); err != ErrEmpty {
+		t.Fatalf("Sum() of nothing: %v", err)
+	}
+	m, err := Mean(mk(1, 3), mk(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Values[0] != 2 || m.Values[1] != 4 {
+		t.Fatalf("Mean: %v", m.Values)
+	}
+}
+
+func TestPeakMinMeanEnergy(t *testing.T) {
+	s := mk(2, 8, 4, 6)
+	if s.Peak() != 8 {
+		t.Fatalf("Peak = %v", s.Peak())
+	}
+	if s.PeakIndex() != 1 {
+		t.Fatalf("PeakIndex = %v", s.PeakIndex())
+	}
+	if s.Min() != 2 {
+		t.Fatalf("Min = %v", s.Min())
+	}
+	if s.MeanValue() != 5 {
+		t.Fatalf("Mean = %v", s.MeanValue())
+	}
+	// 20 value-minutes = 1/3 value-hour.
+	if math.Abs(s.Energy()-20.0/60.0) > 1e-12 {
+		t.Fatalf("Energy = %v", s.Energy())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := mk(1, 2, 3, 4, 5)
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {-5, 1}, {105, 5},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	multi := s.Percentiles(0, 50, 100)
+	if multi[0] != 1 || multi[1] != 3 || multi[2] != 5 {
+		t.Fatalf("Percentiles = %v", multi)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	s := mk(0, 10)
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("Percentile(50) of {0,10} = %v, want 5", got)
+	}
+}
+
+func TestCrossSectionBands(t *testing.T) {
+	pop := []Series{mk(0, 0), mk(5, 10), mk(10, 20)}
+	bands, err := CrossSectionBands(pop, [][2]float64{{0, 100}, {25, 75}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bands[0].Lo[1] != 0 || bands[0].Hi[1] != 20 {
+		t.Fatalf("outer band: %+v", bands[0])
+	}
+	if bands[1].Lo[0] != 2.5 || bands[1].Hi[0] != 7.5 {
+		t.Fatalf("inner band: lo=%v hi=%v", bands[1].Lo[0], bands[1].Hi[0])
+	}
+	if _, err := CrossSectionBands(nil, nil); err != ErrEmpty {
+		t.Fatalf("empty population: %v", err)
+	}
+}
+
+func TestSmoothMovingAverage(t *testing.T) {
+	s := mk(0, 0, 9, 0, 0)
+	sm := s.SmoothMovingAverage(3)
+	if sm.Values[2] != 3 {
+		t.Fatalf("center: %v", sm.Values)
+	}
+	if sm.Values[0] != 0 {
+		t.Fatalf("edge: %v", sm.Values)
+	}
+	// Smoothing preserves the total approximately in the interior; the exact
+	// invariant we check is that a constant series is unchanged.
+	c := Constant(t0, Minute, 10, 4.2)
+	cs := c.SmoothMovingAverage(5)
+	for i, v := range cs.Values {
+		if math.Abs(v-4.2) > 1e-12 {
+			t.Fatalf("constant series changed at %d: %v", i, v)
+		}
+	}
+	if got := s.SmoothMovingAverage(1); got.Values[2] != 9 {
+		t.Fatal("window 1 must be identity")
+	}
+}
+
+func TestResampleBlockAverage(t *testing.T) {
+	s := mk(1, 3, 5, 7)
+	r, err := s.Resample(2 * Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Values[0] != 2 || r.Values[1] != 6 {
+		t.Fatalf("Resample: %v", r.Values)
+	}
+	if r.Step != 2*Minute {
+		t.Fatalf("step: %v", r.Step)
+	}
+	same, err := s.Resample(Minute)
+	if err != nil || same.Len() != 4 {
+		t.Fatalf("identity resample: %v %v", same, err)
+	}
+	if _, err := s.Resample(0); err != ErrStepInvalid {
+		t.Fatalf("zero step: %v", err)
+	}
+}
+
+func TestFoldWeeks(t *testing.T) {
+	// Two weeks at 1-hour resolution: week 1 all 1s, week 2 all 3s.
+	weekLen := 7 * 24
+	vals := make([]float64, 2*weekLen)
+	for i := range vals {
+		if i < weekLen {
+			vals[i] = 1
+		} else {
+			vals[i] = 3
+		}
+	}
+	s := New(t0, time.Hour, vals)
+	folded, err := s.FoldWeeks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Len() != weekLen {
+		t.Fatalf("folded len = %d", folded.Len())
+	}
+	for i, v := range folded.Values {
+		if v != 2 {
+			t.Fatalf("fold at %d = %v, want 2", i, v)
+		}
+	}
+	// Too short must error.
+	short := New(t0, time.Hour, make([]float64, weekLen-1))
+	if _, err := short.FoldWeeks(); err == nil {
+		t.Fatal("FoldWeeks on partial week must fail")
+	}
+}
+
+func TestFoldWeeksPartialTail(t *testing.T) {
+	weekLen := 7 * 24
+	vals := make([]float64, weekLen+10)
+	for i := range vals {
+		vals[i] = 1
+		if i >= weekLen {
+			vals[i] = 5
+		}
+	}
+	s := New(t0, time.Hour, vals)
+	folded, err := s.FoldWeeks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 10 slots saw (1+5)/2 = 3; the rest saw 1.
+	if folded.Values[0] != 3 || folded.Values[10] != 1 {
+		t.Fatalf("partial tail fold: %v %v", folded.Values[0], folded.Values[10])
+	}
+}
+
+func TestNormalizeTo(t *testing.T) {
+	s := mk(1, 2, 4)
+	n := s.NormalizeTo(1)
+	if n.Peak() != 1 || n.Values[0] != 0.25 {
+		t.Fatalf("NormalizeTo: %v", n.Values)
+	}
+	z := mk(0, 0)
+	if got := z.NormalizeTo(1); got.Peak() != 0 {
+		t.Fatal("zero series should be unchanged")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := mk(1, 2, 3, 4)
+	b := mk(2, 4, 6, 8)
+	c := mk(4, 3, 2, 1)
+	if r, _ := Correlation(a, b); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("corr(a,b) = %v", r)
+	}
+	if r, _ := Correlation(a, c); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("corr(a,c) = %v", r)
+	}
+	flat := mk(5, 5, 5, 5)
+	if r, _ := Correlation(a, flat); r != 0 {
+		t.Fatalf("corr with flat = %v", r)
+	}
+}
+
+func TestSliceSharesData(t *testing.T) {
+	s := mk(1, 2, 3, 4)
+	sub := s.Slice(1, 3)
+	if sub.Len() != 2 || sub.Values[0] != 2 {
+		t.Fatalf("Slice: %v", sub.Values)
+	}
+	if !sub.Start.Equal(t0.Add(Minute)) {
+		t.Fatalf("Slice start: %v", sub.Start)
+	}
+	sub.Values[0] = 99
+	if s.Values[1] != 99 {
+		t.Fatal("Slice must share backing data")
+	}
+	cl := s.Clone()
+	cl.Values[0] = -1
+	if s.Values[0] == -1 {
+		t.Fatal("Clone must not share backing data")
+	}
+}
+
+// Property: peak is subadditive — peak(a+b) ≤ peak(a)+peak(b). This is the
+// fact that makes the asynchrony score (Eq. 6) ≥ 1.
+func TestPeakSubadditivityProperty(t *testing.T) {
+	f := func(raw [8]float64, raw2 [8]float64) bool {
+		a, b := Zeros(t0, Minute, 8), Zeros(t0, Minute, 8)
+		for i := 0; i < 8; i++ {
+			a.Values[i] = math.Abs(math.Mod(raw[i], 1000))
+			b.Values[i] = math.Abs(math.Mod(raw2[i], 1000))
+		}
+		sum, err := a.Add(b)
+		if err != nil {
+			return false
+		}
+		return sum.Peak() <= a.Peak()+b.Peak()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mean of k copies of a series is the series itself.
+func TestMeanIdempotentProperty(t *testing.T) {
+	f := func(raw [6]float64, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		s := Zeros(t0, Minute, 6)
+		for i := range s.Values {
+			s.Values[i] = math.Mod(raw[i], 1e6)
+			if math.IsNaN(s.Values[i]) {
+				s.Values[i] = 0
+			}
+		}
+		copies := make([]Series, k)
+		for i := range copies {
+			copies[i] = s
+		}
+		m, err := Mean(copies...)
+		if err != nil {
+			return false
+		}
+		for i := range m.Values {
+			if math.Abs(m.Values[i]-s.Values[i]) > 1e-9*(1+math.Abs(s.Values[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		n := rng.Intn(50) + 1
+		s := Zeros(t0, Minute, n)
+		for i := range s.Values {
+			s.Values[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < prev-1e-9 || v < s.Min()-1e-9 || v > s.Peak()+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	for i := 0; i < 200; i++ {
+		if !f() {
+			t.Fatal("percentile monotonicity violated")
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if got := (Series{}).String(); got != "Series(empty)" {
+		t.Fatalf("empty String = %q", got)
+	}
+	s := mk(1, 2)
+	if s.String() == "" {
+		t.Fatal("String must be non-empty")
+	}
+}

@@ -1,0 +1,34 @@
+package tracestore
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	st := New(Config{Step: time.Minute, Retention: 24 * time.Hour})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := t0.Add(time.Duration(i%1440) * time.Minute)
+		if err := st.Append("bench", at, float64(i%300)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotDay(b *testing.B) {
+	st := New(Config{Step: time.Minute, Retention: 24 * time.Hour})
+	for i := 0; i < 1440; i++ {
+		if err := st.Append("bench", t0.Add(time.Duration(i)*time.Minute), float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Snapshot("bench", t0, t0.Add(24*time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

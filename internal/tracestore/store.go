@@ -1,0 +1,388 @@
+// Package tracestore is the telemetry-collection substrate of the pipeline
+// (Fig. 7, step 1: "collect traces and extract representative traces"). It
+// ingests per-instance power readings as they arrive from power sensors,
+// retains a bounded window, repairs gaps, and materialises the
+// fixed-interval traces the rest of SmoothOperator consumes.
+//
+// The store is safe for concurrent use: sensor scrapers append from many
+// goroutines while the placement pipeline reads snapshots.
+package tracestore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// Errors returned by the store.
+var (
+	ErrUnknownInstance = errors.New("tracestore: unknown instance")
+	ErrStale           = errors.New("tracestore: reading older than retention window")
+	ErrBadReading      = errors.New("tracestore: invalid reading")
+)
+
+// Config tunes a Store.
+type Config struct {
+	// Step is the sampling interval readings are bucketed into. 0 means one
+	// minute (the paper's sensor rate).
+	Step time.Duration
+	// Retention is how much history is kept per instance. 0 means 3 weeks
+	// (the paper's 2 training + 1 test).
+	Retention time.Duration
+}
+
+func (c Config) step() time.Duration {
+	if c.Step <= 0 {
+		return time.Minute
+	}
+	return c.Step
+}
+
+func (c Config) retention() time.Duration {
+	if c.Retention <= 0 {
+		return 3 * 7 * 24 * time.Hour
+	}
+	return c.Retention
+}
+
+// Store collects per-instance power readings.
+type Store struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	instances map[string]*ring
+}
+
+// ring is a per-instance circular buffer of slot values.
+type ring struct {
+	// start is the timestamp of slot[head].
+	start time.Time
+	// values[i] is the reading for slot start+i*step; NaN marks a gap.
+	values []float64
+	// filled is the number of slots ever written (bounds reads on young rings).
+	latest time.Time
+	count  int
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	return &Store{cfg: cfg, instances: make(map[string]*ring)}
+}
+
+// Step returns the store's bucketing interval.
+func (s *Store) Step() time.Duration { return s.cfg.step() }
+
+// Instances returns the known instance IDs, sorted.
+func (s *Store) Instances() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.instances))
+	for id := range s.instances {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Append ingests one power reading. Readings within the same slot overwrite
+// (sensors occasionally double-report); readings older than the retention
+// window are rejected with ErrStale; non-finite or negative powers are
+// rejected with ErrBadReading. Newly seen instances are registered
+// implicitly.
+func (s *Store) Append(id string, at time.Time, watts float64) error {
+	if math.IsNaN(watts) || math.IsInf(watts, 0) || watts < 0 {
+		return fmt.Errorf("%w: %v", ErrBadReading, watts)
+	}
+	step := s.cfg.step()
+	slots := int(s.cfg.retention() / step)
+	at = at.Truncate(step)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.instances[id]
+	if r == nil {
+		r = &ring{start: at, values: nanSlice(slots)}
+		s.instances[id] = r
+	}
+	idx := int(at.Sub(r.start) / step)
+	switch {
+	case idx < 0:
+		// Older than the ring's origin: accept only if still within the
+		// retention window by shifting the origin back.
+		back := -idx
+		if back >= slots {
+			return ErrStale
+		}
+		r.shiftBack(back, slots, step)
+		idx = 0
+	case idx >= slots:
+		// Advance the window, discarding the oldest slots.
+		r.advance(idx-slots+1, step, slots)
+		idx = slots - 1
+	}
+	if math.IsNaN(r.values[idx]) {
+		r.count++
+	}
+	r.values[idx] = watts
+	if at.After(r.latest) {
+		r.latest = at
+	}
+	return nil
+}
+
+func nanSlice(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.NaN()
+	}
+	return v
+}
+
+// shiftBack moves the origin back by n slots, truncating the newest slots
+// if needed to keep the ring size fixed.
+func (r *ring) shiftBack(n, slots int, step time.Duration) {
+	nv := nanSlice(slots)
+	for i := 0; i < slots-n; i++ {
+		nv[i+n] = r.values[i]
+	}
+	r.recount(nv)
+	r.values = nv
+	r.start = r.start.Add(-time.Duration(n) * step)
+}
+
+// advance moves the window forward by n slots.
+func (r *ring) advance(n int, step time.Duration, slots int) {
+	if n >= slots {
+		r.values = nanSlice(slots)
+		r.count = 0
+		r.start = r.start.Add(time.Duration(n) * step)
+		return
+	}
+	nv := nanSlice(slots)
+	copy(nv, r.values[n:])
+	r.recount(nv)
+	r.values = nv
+	r.start = r.start.Add(time.Duration(n) * step)
+}
+
+func (r *ring) recount(values []float64) {
+	c := 0
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			c++
+		}
+	}
+	r.count = c
+}
+
+// Coverage returns the fraction of retained slots holding a reading for an
+// instance, within the span it has reported over.
+func (s *Store) Coverage(id string) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.instances[id]
+	if r == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownInstance, id)
+	}
+	span := int(r.latest.Sub(r.start)/s.cfg.step()) + 1
+	if span <= 0 {
+		return 0, nil
+	}
+	return float64(r.count) / float64(span), nil
+}
+
+// Snapshot materialises an instance's trace over [from, to) at the store's
+// step. Gaps are repaired by linear interpolation between neighbouring
+// readings (edge gaps take the nearest reading); a window with no readings
+// at all is an error.
+func (s *Store) Snapshot(id string, from, to time.Time) (timeseries.Series, error) {
+	step := s.cfg.step()
+	from = from.Truncate(step)
+	n := int(to.Sub(from) / step)
+	if n <= 0 {
+		return timeseries.Series{}, fmt.Errorf("tracestore: empty window [%v, %v)", from, to)
+	}
+	s.mu.RLock()
+	r := s.instances[id]
+	if r == nil {
+		s.mu.RUnlock()
+		return timeseries.Series{}, fmt.Errorf("%w: %q", ErrUnknownInstance, id)
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		t := from.Add(time.Duration(i) * step)
+		idx := int(t.Sub(r.start) / step)
+		if idx >= 0 && idx < len(r.values) {
+			vals[i] = r.values[idx]
+		} else {
+			vals[i] = math.NaN()
+		}
+	}
+	s.mu.RUnlock()
+
+	if err := interpolate(vals); err != nil {
+		return timeseries.Series{}, fmt.Errorf("tracestore: instance %q: %w", id, err)
+	}
+	return timeseries.New(from, step, vals), nil
+}
+
+// SnapshotAll materialises every instance over the window.
+func (s *Store) SnapshotAll(from, to time.Time) (map[string]timeseries.Series, error) {
+	out := make(map[string]timeseries.Series)
+	for _, id := range s.Instances() {
+		tr, err := s.Snapshot(id, from, to)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = tr
+	}
+	return out, nil
+}
+
+// interpolate repairs NaN gaps in place.
+func interpolate(vals []float64) error {
+	first, last := -1, -1
+	for i, v := range vals {
+		if !math.IsNaN(v) {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return errors.New("no readings in window")
+	}
+	for i := 0; i < first; i++ {
+		vals[i] = vals[first]
+	}
+	for i := last + 1; i < len(vals); i++ {
+		vals[i] = vals[last]
+	}
+	i := first
+	for i <= last {
+		if !math.IsNaN(vals[i]) {
+			i++
+			continue
+		}
+		// Gap [i, j): find the next reading.
+		j := i
+		for math.IsNaN(vals[j]) {
+			j++
+		}
+		lo, hi := vals[i-1], vals[j]
+		for k := i; k < j; k++ {
+			frac := float64(k-i+1) / float64(j-i+1)
+			vals[k] = lo + (hi-lo)*frac
+		}
+		i = j
+	}
+	return nil
+}
+
+// AveragedITrace folds an instance's last `weeks` full weeks (ending at the
+// given week boundary) onto one time-of-week-aligned week — Eq. 4 computed
+// straight from collected telemetry.
+func (s *Store) AveragedITrace(id string, weekEnd time.Time, weeks int) (timeseries.Series, error) {
+	if weeks < 1 {
+		return timeseries.Series{}, errors.New("tracestore: weeks must be ≥ 1")
+	}
+	span := time.Duration(weeks) * 7 * 24 * time.Hour
+	tr, err := s.Snapshot(id, weekEnd.Add(-span), weekEnd)
+	if err != nil {
+		return timeseries.Series{}, err
+	}
+	return tr.FoldWeeks()
+}
+
+// checkpoint is the persisted form of the store.
+type checkpoint struct {
+	StepSeconds      float64                 `json:"step_seconds"`
+	RetentionSeconds float64                 `json:"retention_seconds"`
+	Instances        map[string]instanceDump `json:"instances"`
+}
+
+type instanceDump struct {
+	Start  string    `json:"start"`
+	Latest string    `json:"latest"`
+	Values []float64 `json:"values"` // NaN encoded as -1 sentinel
+}
+
+// Save writes a checkpoint of the store.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cp := checkpoint{
+		StepSeconds:      s.cfg.step().Seconds(),
+		RetentionSeconds: s.cfg.retention().Seconds(),
+		Instances:        make(map[string]instanceDump, len(s.instances)),
+	}
+	for id, r := range s.instances {
+		vals := make([]float64, len(r.values))
+		for i, v := range r.values {
+			if math.IsNaN(v) {
+				vals[i] = -1
+			} else {
+				vals[i] = v
+			}
+		}
+		cp.Instances[id] = instanceDump{
+			Start:  r.start.UTC().Format(time.RFC3339),
+			Latest: r.latest.UTC().Format(time.RFC3339),
+			Values: vals,
+		}
+	}
+	return json.NewEncoder(w).Encode(cp)
+}
+
+// Load restores a checkpoint written by Save.
+func Load(r io.Reader) (*Store, error) {
+	var cp checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, err
+	}
+	st := New(Config{
+		Step:      time.Duration(cp.StepSeconds * float64(time.Second)),
+		Retention: time.Duration(cp.RetentionSeconds * float64(time.Second)),
+	})
+	for id, dump := range cp.Instances {
+		start, err := time.Parse(time.RFC3339, dump.Start)
+		if err != nil {
+			return nil, fmt.Errorf("tracestore: bad start for %q: %w", id, err)
+		}
+		latest, err := time.Parse(time.RFC3339, dump.Latest)
+		if err != nil {
+			return nil, fmt.Errorf("tracestore: bad latest for %q: %w", id, err)
+		}
+		vals := make([]float64, len(dump.Values))
+		count := 0
+		for i, v := range dump.Values {
+			if v < 0 {
+				vals[i] = math.NaN()
+			} else {
+				vals[i] = v
+				count++
+			}
+		}
+		st.instances[id] = &ring{start: start, latest: latest, values: vals, count: count}
+	}
+	return st, nil
+}
+
+// IngestSeries bulk-loads an existing trace (e.g. from cmd/tracegen output)
+// into the store, reading by reading.
+func (s *Store) IngestSeries(id string, tr timeseries.Series) error {
+	for i, v := range tr.Values {
+		if err := s.Append(id, tr.TimeAt(i), v); err != nil {
+			return fmt.Errorf("tracestore: ingesting %q at %v: %w", id, tr.TimeAt(i), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package tracestore
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+var t0 = time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+
+func TestAppendAndSnapshot(t *testing.T) {
+	st := New(Config{Step: time.Minute})
+	for i := 0; i < 10; i++ {
+		if err := st.Append("a", t0.Add(time.Duration(i)*time.Minute), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := st.Snapshot("a", t0, t0.Add(10*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i, v := range tr.Values {
+		if v != float64(i) {
+			t.Fatalf("value %d = %v", i, v)
+		}
+	}
+	cov, err := st.Coverage("a")
+	if err != nil || cov != 1 {
+		t.Fatalf("coverage = %v, %v", cov, err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	st := New(Config{})
+	if err := st.Append("a", t0, math.NaN()); err == nil {
+		t.Fatal("NaN must be rejected")
+	}
+	if err := st.Append("a", t0, -5); err == nil {
+		t.Fatal("negative power must be rejected")
+	}
+	if err := st.Append("a", t0, math.Inf(1)); err == nil {
+		t.Fatal("Inf must be rejected")
+	}
+}
+
+func TestAppendOverwriteSameSlot(t *testing.T) {
+	st := New(Config{Step: time.Minute})
+	must(t, st.Append("a", t0, 5))
+	must(t, st.Append("a", t0.Add(10*time.Second), 7)) // same slot
+	tr, err := st.Snapshot("a", t0, t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Values[0] != 7 {
+		t.Fatalf("overwrite: %v", tr.Values[0])
+	}
+}
+
+func TestGapInterpolation(t *testing.T) {
+	st := New(Config{Step: time.Minute})
+	must(t, st.Append("a", t0, 10))
+	must(t, st.Append("a", t0.Add(4*time.Minute), 50))
+	tr, err := st.Snapshot("a", t0, t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30, 40, 50}
+	for i, v := range tr.Values {
+		if math.Abs(v-want[i]) > 1e-9 {
+			t.Fatalf("interpolated = %v", tr.Values)
+		}
+	}
+	// Coverage reflects the real 2/5 readings.
+	cov, _ := st.Coverage("a")
+	if math.Abs(cov-0.4) > 1e-9 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}
+
+func TestEdgeGapExtension(t *testing.T) {
+	st := New(Config{Step: time.Minute})
+	must(t, st.Append("a", t0.Add(2*time.Minute), 30))
+	tr, err := st.Snapshot("a", t0, t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tr.Values {
+		if v != 30 {
+			t.Fatalf("edge extension: %v", tr.Values)
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	st := New(Config{Step: time.Minute})
+	if _, err := st.Snapshot("nope", t0, t0.Add(time.Minute)); err == nil {
+		t.Fatal("unknown instance must error")
+	}
+	must(t, st.Append("a", t0, 1))
+	if _, err := st.Snapshot("a", t0, t0); err == nil {
+		t.Fatal("empty window must error")
+	}
+	// Window entirely outside readings: the ring has data but the window
+	// sees none... edge extension uses readings inside the window only, so
+	// this must error.
+	if _, err := st.Snapshot("a", t0.Add(time.Hour), t0.Add(2*time.Hour)); err == nil {
+		t.Fatal("window with no readings must error")
+	}
+}
+
+func TestRetentionWindowAdvance(t *testing.T) {
+	st := New(Config{Step: time.Minute, Retention: 10 * time.Minute})
+	must(t, st.Append("a", t0, 1))
+	// A reading far in the future advances the window past the original.
+	must(t, st.Append("a", t0.Add(30*time.Minute), 2))
+	if _, err := st.Snapshot("a", t0, t0.Add(time.Minute)); err == nil {
+		t.Fatal("evicted slot must no longer resolve")
+	}
+	tr, err := st.Snapshot("a", t0.Add(30*time.Minute), t0.Add(31*time.Minute))
+	if err != nil || tr.Values[0] != 2 {
+		t.Fatalf("latest reading lost: %v %v", tr, err)
+	}
+	// Too-old readings are rejected.
+	if err := st.Append("a", t0, 9); err != ErrStale {
+		t.Fatalf("stale reading: %v", err)
+	}
+}
+
+func TestOutOfOrderWithinRetention(t *testing.T) {
+	st := New(Config{Step: time.Minute, Retention: time.Hour})
+	must(t, st.Append("a", t0.Add(10*time.Minute), 10))
+	must(t, st.Append("a", t0.Add(5*time.Minute), 5)) // older, still in window
+	tr, err := st.Snapshot("a", t0.Add(5*time.Minute), t0.Add(11*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Values[0] != 5 || tr.Values[5] != 10 {
+		t.Fatalf("out-of-order ingest: %v", tr.Values)
+	}
+}
+
+func TestAveragedITrace(t *testing.T) {
+	st := New(Config{Step: time.Hour, Retention: 3 * 7 * 24 * time.Hour})
+	// Two weeks: first all 2s, second all 4s → folded = 3s.
+	for i := 0; i < 2*7*24; i++ {
+		v := 2.0
+		if i >= 7*24 {
+			v = 4.0
+		}
+		must(t, st.Append("a", t0.Add(time.Duration(i)*time.Hour), v))
+	}
+	avg, err := st.AveragedITrace("a", t0.Add(2*7*24*time.Hour), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Len() != 7*24 {
+		t.Fatalf("len = %d", avg.Len())
+	}
+	for i, v := range avg.Values {
+		if v != 3 {
+			t.Fatalf("fold at %d = %v", i, v)
+		}
+	}
+	if _, err := st.AveragedITrace("a", t0, 0); err == nil {
+		t.Fatal("weeks < 1 must error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := New(Config{Step: time.Minute, Retention: time.Hour})
+	must(t, st.Append("a", t0, 10))
+	must(t, st.Append("a", t0.Add(2*time.Minute), 30))
+	must(t, st.Append("b", t0.Add(time.Minute), 99))
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Instances(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("instances = %v", got)
+	}
+	tr, err := back.Snapshot("a", t0, t0.Add(3*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Values[0] != 10 || tr.Values[1] != 20 || tr.Values[2] != 30 {
+		t.Fatalf("restored trace: %v", tr.Values)
+	}
+	cov, err := back.Coverage("a")
+	if err != nil || math.Abs(cov-2.0/3) > 1e-9 {
+		t.Fatalf("restored coverage: %v %v", cov, err)
+	}
+	if _, err := Load(bytes.NewReader([]byte("{"))); err == nil {
+		t.Fatal("corrupt checkpoint must error")
+	}
+}
+
+func TestIngestSeriesAndPipelineIntegration(t *testing.T) {
+	// End-to-end: generated fleet traces flow through the store and come
+	// back out identical (full coverage, no gaps).
+	spec := workload.GenSpec{
+		Mix:   map[string]int{"frontend": 2, "hadoop": 2},
+		Start: t0, Step: time.Hour, Weeks: 1,
+		PhaseJitterHours: 1, AmplitudeSigma: 0.1, NoiseSigma: 0.01, Seed: 3,
+	}
+	fleet, err := workload.Generate(spec, workload.StandardProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := New(Config{Step: time.Hour, Retention: 8 * 24 * time.Hour})
+	for _, inst := range fleet.Instances {
+		if err := st.IngestSeries(inst.ID, inst.Trace); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := st.SnapshotAll(t0, t0.Add(7*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range fleet.Instances {
+		got := all[inst.ID]
+		if got.Len() != inst.Trace.Len() {
+			t.Fatalf("%s: len %d vs %d", inst.ID, got.Len(), inst.Trace.Len())
+		}
+		for i := range got.Values {
+			if math.Abs(got.Values[i]-inst.Trace.Values[i]) > 1e-9 {
+				t.Fatalf("%s: value %d mismatch", inst.ID, i)
+			}
+		}
+	}
+}
+
+func TestConcurrentAppendAndSnapshot(t *testing.T) {
+	st := New(Config{Step: time.Minute, Retention: time.Hour})
+	must(t, st.Append("a", t0, 1))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = st.Append("a", t0.Add(time.Duration(i%50)*time.Minute), float64(g*i))
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, _ = st.Snapshot("a", t0, t0.Add(30*time.Minute))
+				_ = st.Instances()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSnapshotAllPropagatesErrors(t *testing.T) {
+	st := New(Config{Step: time.Minute})
+	must(t, st.Append("a", t0, 1))
+	must(t, st.Append("b", t0.Add(2*time.Hour), 1))
+	// Window covers a's readings but not b's.
+	if _, err := st.SnapshotAll(t0, t0.Add(time.Minute)); err == nil {
+		t.Fatal("instance with no readings in window must fail SnapshotAll")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	st := New(Config{})
+	if st.Step() != time.Minute {
+		t.Fatalf("default step = %v", st.Step())
+	}
+	if (Config{}).retention() != 3*7*24*time.Hour {
+		t.Fatal("default retention")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/timeseries"
+)
+
+// fleetDoc is the wire form of a Fleet: instance metadata (including the
+// heterogeneity draws, so a loaded fleet can re-render or extend traces)
+// plus the raw traces.
+type fleetDoc struct {
+	Instances []instanceDoc `json:"instances"`
+}
+
+type instanceDoc struct {
+	ID      string            `json:"id"`
+	Service string            `json:"service"`
+	Class   int               `json:"class"`
+	Params  InstanceParams    `json:"params"`
+	Trace   timeseries.Series `json:"trace"`
+}
+
+// SaveFleet writes the fleet (instances, params, traces) as JSON. The
+// profile library is not serialized: loaders pass their own (profiles are
+// code, fleets are data).
+func SaveFleet(f *Fleet, w io.Writer) error {
+	doc := fleetDoc{Instances: make([]instanceDoc, len(f.Instances))}
+	for i, inst := range f.Instances {
+		doc.Instances[i] = instanceDoc{
+			ID:      inst.ID,
+			Service: inst.Service,
+			Class:   int(inst.Class),
+			Params:  inst.Params,
+			Trace:   inst.Trace,
+		}
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// LoadFleet reads a fleet written by SaveFleet, attaching the given profile
+// library. Instances referencing services missing from the library are an
+// error; traces are validated.
+func LoadFleet(r io.Reader, profiles map[string]Profile) (*Fleet, error) {
+	var doc fleetDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("workload: decoding fleet: %w", err)
+	}
+	if len(doc.Instances) == 0 {
+		return nil, fmt.Errorf("workload: fleet document holds no instances")
+	}
+	f := &Fleet{Profiles: profiles, byID: make(map[string]*Instance, len(doc.Instances))}
+	for _, d := range doc.Instances {
+		if _, ok := profiles[d.Service]; !ok {
+			return nil, fmt.Errorf("workload: no profile for service %q (instance %q)", d.Service, d.ID)
+		}
+		if _, dup := f.byID[d.ID]; dup {
+			return nil, fmt.Errorf("workload: duplicate instance %q", d.ID)
+		}
+		if err := d.Trace.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: instance %q trace: %w", d.ID, err)
+		}
+		inst := &Instance{
+			ID:      d.ID,
+			Service: d.Service,
+			Class:   Class(d.Class),
+			Params:  d.Params,
+			Trace:   d.Trace,
+		}
+		f.Instances = append(f.Instances, inst)
+		f.byID[inst.ID] = inst
+	}
+	// Deterministic order regardless of producer: by service, then ID,
+	// matching Generate's ordering.
+	sort.SliceStable(f.Instances, func(i, j int) bool {
+		if f.Instances[i].Service != f.Instances[j].Service {
+			return f.Instances[i].Service < f.Instances[j].Service
+		}
+		return f.Instances[i].ID < f.Instances[j].ID
+	})
+	return f, nil
+}

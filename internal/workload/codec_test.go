@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFleetSaveLoadRoundTrip(t *testing.T) {
+	fleet, err := Generate(smallSpec(), StandardProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveFleet(fleet, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFleet(&buf, StandardProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Instances) != len(fleet.Instances) {
+		t.Fatalf("instances: %d vs %d", len(back.Instances), len(fleet.Instances))
+	}
+	for i, inst := range fleet.Instances {
+		got := back.Instances[i]
+		if got.ID != inst.ID || got.Service != inst.Service || got.Class != inst.Class {
+			t.Fatalf("instance %d metadata mismatch: %+v vs %+v", i, got, inst)
+		}
+		if got.Params != inst.Params {
+			t.Fatalf("instance %d params mismatch", i)
+		}
+		if got.Trace.Len() != inst.Trace.Len() {
+			t.Fatalf("instance %d trace length mismatch", i)
+		}
+		for j := range inst.Trace.Values {
+			if got.Trace.Values[j] != inst.Trace.Values[j] {
+				t.Fatalf("instance %d trace value %d mismatch", i, j)
+			}
+		}
+	}
+	// Lookups work after load.
+	if _, ok := back.Instance(fleet.Instances[0].ID); !ok {
+		t.Fatal("byID index not rebuilt")
+	}
+	// Breakdown is computable and sums to 1.
+	var total float64
+	for _, sp := range back.PowerBreakdown() {
+		total += sp.Share
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %v", total)
+	}
+}
+
+func TestLoadFleetErrors(t *testing.T) {
+	if _, err := LoadFleet(strings.NewReader("{"), StandardProfiles()); err == nil {
+		t.Fatal("corrupt JSON must error")
+	}
+	if _, err := LoadFleet(strings.NewReader(`{"instances":[]}`), StandardProfiles()); err == nil {
+		t.Fatal("empty fleet must error")
+	}
+	unknown := `{"instances":[{"id":"x-0","service":"mystery","class":0,"params":{},"trace":{"start":"2016-07-25T00:00:00Z","step_seconds":60,"values":[1]}}]}`
+	if _, err := LoadFleet(strings.NewReader(unknown), StandardProfiles()); err == nil {
+		t.Fatal("unknown service must error")
+	}
+	dup := `{"instances":[
+		{"id":"frontend-0000","service":"frontend","class":0,"params":{},"trace":{"start":"2016-07-25T00:00:00Z","step_seconds":60,"values":[1]}},
+		{"id":"frontend-0000","service":"frontend","class":0,"params":{},"trace":{"start":"2016-07-25T00:00:00Z","step_seconds":60,"values":[1]}}]}`
+	if _, err := LoadFleet(strings.NewReader(dup), StandardProfiles()); err == nil {
+		t.Fatal("duplicate instance must error")
+	}
+	badTrace := `{"instances":[{"id":"frontend-0000","service":"frontend","class":0,"params":{},"trace":{"start":"2016-07-25T00:00:00Z","step_seconds":60,"values":[]}}]}`
+	if _, err := LoadFleet(strings.NewReader(badTrace), StandardProfiles()); err == nil {
+		t.Fatal("invalid trace must error")
+	}
+}

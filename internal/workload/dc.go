@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/powertree"
+)
+
+// DCName identifies one of the three synthetic datacenters standing in for
+// the paper's DC1–DC3.
+type DCName string
+
+// The three datacenters under study (§5.1).
+const (
+	DC1 DCName = "DC1"
+	DC2 DCName = "DC2"
+	DC3 DCName = "DC3"
+)
+
+// AllDCs lists the datacenters in paper order.
+var AllDCs = []DCName{DC1, DC2, DC3}
+
+// DCConfig bundles everything needed to instantiate one synthetic
+// datacenter: the fleet generation spec and the power-tree topology sized to
+// host it.
+type DCConfig struct {
+	// Name is the datacenter's name.
+	Name DCName
+	// Gen is the fleet generation spec.
+	Gen GenSpec
+	// Topology is the power tree spec; its leaf count × InstancesPerLeaf
+	// must cover the fleet.
+	Topology powertree.TopologySpec
+	// InstancesPerLeaf is the nominal number of instances an RPP hosts.
+	InstancesPerLeaf int
+	// BaselineMix is how balanced this datacenter's historical placement is
+	// (0 = fully service-packed, 1 = fully dealt out). §5.2.1: DC1's
+	// original placement was more balanced than DC3's.
+	BaselineMix float64
+}
+
+// TotalInstances returns the fleet size implied by the mix.
+func (c DCConfig) TotalInstances() int {
+	total := 0
+	for _, n := range c.Gen.Mix {
+		total += n
+	}
+	return total
+}
+
+// Capacity returns the number of instance slots the topology offers.
+func (c DCConfig) Capacity() int {
+	leaves := c.Topology.SuitesPerDC * c.Topology.MSBsPerSuite * c.Topology.SBsPerMSB * c.Topology.RPPsPerSB
+	return leaves * c.InstancesPerLeaf
+}
+
+// Validate cross-checks fleet size against topology capacity.
+func (c DCConfig) Validate() error {
+	if err := c.Gen.Validate(); err != nil {
+		return err
+	}
+	if c.InstancesPerLeaf < 1 {
+		return fmt.Errorf("workload: %s: InstancesPerLeaf must be ≥ 1", c.Name)
+	}
+	if got, cap := c.TotalInstances(), c.Capacity(); got > cap {
+		return fmt.Errorf("workload: %s: %d instances exceed topology capacity %d", c.Name, got, cap)
+	}
+	return nil
+}
+
+// traceStart is a Monday, matching the paper's late-July-2016 trace window.
+var traceStart = time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+
+// StandardDCConfig returns the synthetic stand-in for one of the paper's
+// three datacenters.
+//
+// The mixes approximate Fig. 5's pies (exact slice values are not fully
+// legible in the figure; EXPERIMENTS.md records the approximation). The
+// heterogeneity knobs encode the paper's §5.2.1 findings: "the degree of
+// heterogeneity among instance power traces found in DC1 is much smaller
+// than that in DC3", which is why DC1 sees ~2.3% RPP peak reduction and DC3
+// ~13.1%. DC3 also carries the largest LC share among top consumers, which
+// caps its batch-throttling gains (§5.2.2, Fig. 14).
+//
+// scale multiplies every service's instance count; 1 gives a small fleet
+// (fast tests), 4–8 give experiment-sized fleets.
+func StandardDCConfig(name DCName, scale int) (DCConfig, error) {
+	if scale < 1 {
+		return DCConfig{}, fmt.Errorf("workload: scale must be ≥ 1")
+	}
+	base := GenSpec{
+		Start: traceStart,
+		Step:  10 * time.Minute,
+		Weeks: 3,
+	}
+	var cfg DCConfig
+	switch name {
+	case DC1:
+		// Balanced mix, low instance heterogeneity.
+		base.Mix = scaleMix(map[string]int{
+			"frontend": 20, "dbA": 20, "hadoop": 15, "batchjob": 8,
+			"dev": 8, "searchindex": 8, "labserver": 6, "mobiledev": 5,
+			"serviceZ": 5, "serviceY": 5,
+		}, scale)
+		base.PhaseJitterHours = 0.6
+		base.AmplitudeSigma = 0.08
+		base.NoiseSigma = 0.01
+		base.Seed = 101
+		cfg = DCConfig{Name: DC1, Gen: base, BaselineMix: 0.5}
+	case DC2:
+		// Intermediate heterogeneity and LC share.
+		base.Mix = scaleMix(map[string]int{
+			"cache": 20, "frontend": 13, "search": 5, "serviceB": 5,
+			"serviceY": 5, "serviceZ": 5, "photostorage": 4, "serviceX": 5,
+			"serviceW": 5, "hadoop": 13, "dbA": 12, "labserver": 8,
+		}, scale)
+		base.PhaseJitterHours = 2.0
+		base.AmplitudeSigma = 0.18
+		base.NoiseSigma = 0.015
+		base.Seed = 202
+		cfg = DCConfig{Name: DC2, Gen: base, BaselineMix: 0.25}
+	case DC3:
+		// LC-heavy mix, high instance heterogeneity, worst baseline packing.
+		base.Mix = scaleMix(map[string]int{
+			"frontend": 26, "cache": 19, "hadoop": 17, "search": 13,
+			"dbA": 6, "serviceA": 6, "instagram": 5, "mobiledev": 5,
+			"dbB": 5, "labserver": 4,
+		}, scale)
+		base.PhaseJitterHours = 3.4
+		base.AmplitudeSigma = 0.3
+		base.NoiseSigma = 0.02
+		base.Seed = 303
+		cfg = DCConfig{Name: DC3, Gen: base, BaselineMix: 0.05}
+	default:
+		return DCConfig{}, fmt.Errorf("workload: unknown datacenter %q", name)
+	}
+
+	// Size the tree so the fleet fills it: 16 instances per RPP, fan-outs
+	// derived from fleet size. Budgets leave the tree comfortably provisioned
+	// for the raw fleet; experiments derive required budgets from peaks.
+	total := cfg.TotalInstances()
+	cfg.InstancesPerLeaf = 16
+	leaves := (total + cfg.InstancesPerLeaf - 1) / cfg.InstancesPerLeaf
+	// Fixed shape ratios: 4 suites per DC (§5.1), 2 MSBs per suite,
+	// 2 SBs per MSB; RPP count absorbs the remainder.
+	suites, msbs, sbs := 4, 2, 2
+	rpps := (leaves + suites*msbs*sbs - 1) / (suites * msbs * sbs)
+	if rpps < 1 {
+		rpps = 1
+	}
+	cfg.Topology = powertree.TopologySpec{
+		Name:        string(name),
+		SuitesPerDC: suites, MSBsPerSuite: msbs, SBsPerMSB: sbs, RPPsPerSB: rpps,
+		LeafBudget:   float64(cfg.InstancesPerLeaf) * 310, // per-server envelope max
+		BudgetMargin: 0.02,
+	}
+	return cfg, nil
+}
+
+func scaleMix(mix map[string]int, scale int) map[string]int {
+	out := make(map[string]int, len(mix))
+	for svc, n := range mix {
+		out[svc] = n * scale
+	}
+	return out
+}
+
+// BuildDC instantiates the datacenter: generates the fleet and builds the
+// (empty) power tree ready for a placement policy to populate.
+func BuildDC(cfg DCConfig) (*Fleet, *powertree.Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	fleet, err := Generate(cfg.Gen, StandardProfiles())
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := powertree.Build(cfg.Topology)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fleet, tree, nil
+}

@@ -1,0 +1,360 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// InstanceParams is the per-instance heterogeneity drawn at generation time
+// (§3.3: "Such heterogeneity usually stems from imbalanced accessing pattern
+// or skewed popularity among different instances of a same service").
+type InstanceParams struct {
+	// PhaseShiftHours shifts the instance's diurnal bumps.
+	PhaseShiftHours float64
+	// AmplitudeScale multiplies the instance's dynamic power range
+	// (popularity skew; lognormal around 1).
+	AmplitudeScale float64
+	// BaseScale multiplies the idle draw (hardware/config variation).
+	BaseScale float64
+	// NoiseSeed seeds the instance's AR(1) measurement/activity noise.
+	NoiseSeed int64
+	// NoiseSigma is the noise magnitude as a fraction of dynamic range.
+	NoiseSigma float64
+}
+
+// Instance is one service instance: a process pinned to a physical server,
+// as in the paper's deployment model (§3.1).
+type Instance struct {
+	// ID is the unique instance ID, e.g. "frontend-0042".
+	ID string
+	// Service is the owning service name.
+	Service string
+	// Class is the service's workload class.
+	Class Class
+	// Params is the instance's heterogeneity draw.
+	Params InstanceParams
+	// Trace is the raw multi-week I-trace (Eq. 3).
+	Trace timeseries.Series
+}
+
+// Fleet is a generated population of service instances with their traces.
+type Fleet struct {
+	// Instances in deterministic generation order.
+	Instances []*Instance
+	// Profiles is the service profile library the fleet was generated from.
+	Profiles map[string]Profile
+
+	byID map[string]*Instance
+}
+
+// GenSpec configures fleet generation.
+type GenSpec struct {
+	// Mix maps service name → number of instances.
+	Mix map[string]int
+	// Start is the first reading's timestamp; it should be a Monday so that
+	// time-of-week folding aligns naturally.
+	Start time.Time
+	// Step is the sampling interval (the paper uses one minute; coarser
+	// steps keep experiments fast without changing shapes).
+	Step time.Duration
+	// Weeks is the number of weeks of trace to generate (the paper collects
+	// three: two for training, one for testing).
+	Weeks int
+	// PhaseJitterHours is the stddev of per-instance diurnal phase shift.
+	// This is the dominant heterogeneity knob: DC1-like fleets use small
+	// values, DC3-like fleets large ones.
+	PhaseJitterHours float64
+	// AmplitudeSigma is the lognormal σ of per-instance amplitude skew.
+	AmplitudeSigma float64
+	// NoiseSigma is per-instance AR(1) noise magnitude (fraction of the
+	// dynamic range).
+	NoiseSigma float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate checks the spec.
+func (g GenSpec) Validate() error {
+	if len(g.Mix) == 0 {
+		return fmt.Errorf("workload: empty mix")
+	}
+	if g.Step <= 0 {
+		return fmt.Errorf("workload: step must be positive")
+	}
+	if g.Weeks < 1 {
+		return fmt.Errorf("workload: weeks must be ≥ 1")
+	}
+	for svc, n := range g.Mix {
+		if n < 0 {
+			return fmt.Errorf("workload: negative count for service %q", svc)
+		}
+	}
+	return nil
+}
+
+// Generate builds a fleet from the spec using the given profile library.
+// Services in the mix that are missing from the library are an error.
+func Generate(spec GenSpec, profiles map[string]Profile) (*Fleet, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	services := make([]string, 0, len(spec.Mix))
+	for svc := range spec.Mix {
+		if _, ok := profiles[svc]; !ok {
+			return nil, fmt.Errorf("workload: no profile for service %q", svc)
+		}
+		services = append(services, svc)
+	}
+	sort.Strings(services)
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := int(7 * 24 * time.Hour / spec.Step * time.Duration(spec.Weeks))
+	fleet := &Fleet{Profiles: profiles, byID: make(map[string]*Instance)}
+	for _, svc := range services {
+		prof := profiles[svc]
+		count := spec.Mix[svc]
+		// Instance phase shifts are *correlated with the instance ordinal*:
+		// production services shard by user segment/region, so adjacent
+		// shards see similar access timing ("imbalanced accessing pattern or
+		// skewed popularity", §3.3). A uniform spread with stddev
+		// PhaseJitterHours plus a small independent component reproduces
+		// both the heterogeneity and the pathology that historical
+		// placements — which allocate contiguous shards together — group
+		// synchronous instances under the same power nodes.
+		spread := math.Sqrt(3) * spec.PhaseJitterHours
+		for i := 0; i < count; i++ {
+			frac := 0.5
+			if count > 1 {
+				frac = (float64(i) + 0.5) / float64(count)
+			}
+			params := InstanceParams{
+				PhaseShiftHours: spread*(2*frac-1) + rng.NormFloat64()*0.15*spec.PhaseJitterHours,
+				AmplitudeScale:  math.Exp(rng.NormFloat64() * spec.AmplitudeSigma),
+				BaseScale:       1 + rng.NormFloat64()*0.05,
+				NoiseSeed:       rng.Int63(),
+				NoiseSigma:      spec.NoiseSigma,
+			}
+			if params.BaseScale < 0.5 {
+				params.BaseScale = 0.5
+			}
+			inst := &Instance{
+				ID:      fmt.Sprintf("%s-%04d", svc, i),
+				Service: svc,
+				Class:   prof.Class,
+				Params:  params,
+			}
+			inst.Trace = RenderTrace(prof, params, spec.Start, spec.Step, n)
+			fleet.Instances = append(fleet.Instances, inst)
+			fleet.byID[inst.ID] = inst
+		}
+	}
+	return fleet, nil
+}
+
+// RenderTrace synthesizes an instance power trace of n readings.
+func RenderTrace(prof Profile, params InstanceParams, start time.Time, step time.Duration, n int) timeseries.Series {
+	s := timeseries.Zeros(start, step, n)
+	noise := rand.New(rand.NewSource(params.NoiseSeed))
+	dyn := (prof.PeakPower - prof.IdlePower) * params.AmplitudeScale
+	idle := prof.IdlePower * params.BaseScale
+	shift := time.Duration(params.PhaseShiftHours * float64(time.Hour))
+	// AR(1) noise: smooth enough to look like load wander, not sensor spikes.
+	const ar = 0.97
+	var z float64
+	for i := 0; i < n; i++ {
+		t := start.Add(time.Duration(i)*step - shift)
+		a := prof.Shape.Activity(t)
+		z = ar*z + (1-ar)*noise.NormFloat64()
+		v := idle + dyn*a + dyn*params.NoiseSigma*z*8
+		if v < 0 {
+			v = 0
+		}
+		s.Values[i] = v
+	}
+	return s
+}
+
+// Instance returns the instance with the given ID.
+func (f *Fleet) Instance(id string) (*Instance, bool) {
+	inst, ok := f.byID[id]
+	return inst, ok
+}
+
+// IDs returns every instance ID in generation order.
+func (f *Fleet) IDs() []string {
+	out := make([]string, len(f.Instances))
+	for i, inst := range f.Instances {
+		out[i] = inst.ID
+	}
+	return out
+}
+
+// PowerFn returns a lookup from instance ID to its raw trace, in the form
+// the power tree consumes.
+func (f *Fleet) PowerFn() func(string) (timeseries.Series, bool) {
+	return func(id string) (timeseries.Series, bool) {
+		inst, ok := f.byID[id]
+		if !ok {
+			return timeseries.Series{}, false
+		}
+		return inst.Trace, true
+	}
+}
+
+// SubPowerFn returns a lookup over an arbitrary trace table. It lets callers
+// swap in averaged or windowed traces while reusing fleet membership.
+func SubPowerFn(traces map[string]timeseries.Series) func(string) (timeseries.Series, bool) {
+	return func(id string) (timeseries.Series, bool) {
+		s, ok := traces[id]
+		return s, ok
+	}
+}
+
+// ServiceInstances returns the instances of one service, in order.
+func (f *Fleet) ServiceInstances(service string) []*Instance {
+	var out []*Instance
+	for _, inst := range f.Instances {
+		if inst.Service == service {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// Services returns the distinct service names present, sorted.
+func (f *Fleet) Services() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, inst := range f.Instances {
+		if !seen[inst.Service] {
+			seen[inst.Service] = true
+			out = append(out, inst.Service)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServicePower summarises one service's share of fleet power (Fig. 5).
+type ServicePower struct {
+	Service string
+	Class   Class
+	// MeanPower is the service's total average power across its instances.
+	MeanPower float64
+	// Share is MeanPower divided by the fleet total.
+	Share float64
+	// Instances is the population size.
+	Instances int
+}
+
+// PowerBreakdown returns every service's share of average fleet power,
+// sorted descending — the data behind Fig. 5's pies.
+func (f *Fleet) PowerBreakdown() []ServicePower {
+	byService := make(map[string]*ServicePower)
+	var total float64
+	for _, inst := range f.Instances {
+		sp := byService[inst.Service]
+		if sp == nil {
+			sp = &ServicePower{Service: inst.Service, Class: inst.Class}
+			byService[inst.Service] = sp
+		}
+		m := inst.Trace.MeanValue()
+		sp.MeanPower += m
+		sp.Instances++
+		total += m
+	}
+	out := make([]ServicePower, 0, len(byService))
+	for _, sp := range byService {
+		if total > 0 {
+			sp.Share = sp.MeanPower / total
+		}
+		out = append(out, *sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanPower != out[j].MeanPower {
+			return out[i].MeanPower > out[j].MeanPower
+		}
+		return out[i].Service < out[j].Service
+	})
+	return out
+}
+
+// TopServices returns the names of the n largest power-consumer services —
+// the basis set B whose S-traces span the asynchrony-score space (§3.4).
+func (f *Fleet) TopServices(n int) []string {
+	bd := f.PowerBreakdown()
+	if n > len(bd) {
+		n = len(bd)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = bd[i].Service
+	}
+	return out
+}
+
+// SplitWeeks partitions each instance's raw trace into per-week slices and
+// returns the requested week (0-based). It implements the paper's
+// train/test protocol: weeks 0..k−1 for training, the final week for
+// testing (§5.1).
+func (f *Fleet) SplitWeeks(week int) (map[string]timeseries.Series, error) {
+	out := make(map[string]timeseries.Series, len(f.Instances))
+	for _, inst := range f.Instances {
+		weekLen := int(7 * 24 * time.Hour / inst.Trace.Step)
+		lo := week * weekLen
+		hi := lo + weekLen
+		if lo < 0 || hi > inst.Trace.Len() {
+			return nil, fmt.Errorf("workload: instance %q has no week %d", inst.ID, week)
+		}
+		out[inst.ID] = inst.Trace.Slice(lo, hi)
+	}
+	return out, nil
+}
+
+// AveragedITraces returns each instance's averaged I-trace (Eq. 4): the raw
+// trace restricted to the first trainWeeks weeks, folded onto one
+// time-of-week-aligned week.
+func (f *Fleet) AveragedITraces(trainWeeks int) (map[string]timeseries.Series, error) {
+	out := make(map[string]timeseries.Series, len(f.Instances))
+	for _, inst := range f.Instances {
+		weekLen := int(7 * 24 * time.Hour / inst.Trace.Step)
+		hi := trainWeeks * weekLen
+		if hi > inst.Trace.Len() || hi == 0 {
+			return nil, fmt.Errorf("workload: instance %q shorter than %d weeks", inst.ID, trainWeeks)
+		}
+		folded, err := inst.Trace.Slice(0, hi).FoldWeeks()
+		if err != nil {
+			return nil, fmt.Errorf("workload: folding %q: %w", inst.ID, err)
+		}
+		out[inst.ID] = folded
+	}
+	return out, nil
+}
+
+// LoadTrace renders a normalized offered-load (QPS) trace for a service over
+// the given window, reusing the service's activity shape so load and power
+// stay coupled as they are in production. The result is in [0, 1].
+func LoadTrace(prof Profile, start time.Time, step time.Duration, n int, seed int64) timeseries.Series {
+	s := timeseries.Zeros(start, step, n)
+	noise := rand.New(rand.NewSource(seed))
+	const ar = 0.97
+	var z float64
+	for i := 0; i < n; i++ {
+		t := start.Add(time.Duration(i) * step)
+		z = ar*z + (1-ar)*noise.NormFloat64()
+		v := prof.Shape.Activity(t) + 0.05*z*8
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		s.Values[i] = v
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// Trace mutators synthesize the short-term anomalies the paper's §3.6
+// delegates to emergency measures — traffic bursts, partial outages — and
+// the mid-term shifts the continuous monitor must catch. They power the
+// capping tests and the drift studies.
+
+// InjectBurst returns a copy of the trace with draw multiplied by
+// (1+magnitude) over [at, at+duration) — a traffic burst (e.g. a neighbour
+// datacenter failing over, §3.3).
+func InjectBurst(tr timeseries.Series, at time.Time, duration time.Duration, magnitude float64) (timeseries.Series, error) {
+	if magnitude < 0 {
+		return timeseries.Series{}, fmt.Errorf("workload: burst magnitude must be ≥ 0, got %v", magnitude)
+	}
+	return scaleWindow(tr, at, duration, 1+magnitude)
+}
+
+// InjectOutage returns a copy of the trace with draw scaled to residual
+// (0 ≤ residual < 1) over [at, at+duration) — a partial or full outage.
+func InjectOutage(tr timeseries.Series, at time.Time, duration time.Duration, residual float64) (timeseries.Series, error) {
+	if residual < 0 || residual >= 1 {
+		return timeseries.Series{}, fmt.Errorf("workload: outage residual must be in [0,1), got %v", residual)
+	}
+	return scaleWindow(tr, at, duration, residual)
+}
+
+func scaleWindow(tr timeseries.Series, at time.Time, duration time.Duration, factor float64) (timeseries.Series, error) {
+	if err := tr.Validate(); err != nil {
+		return timeseries.Series{}, err
+	}
+	if duration <= 0 {
+		return timeseries.Series{}, fmt.Errorf("workload: window duration must be positive")
+	}
+	out := tr.Clone()
+	end := at.Add(duration)
+	for i := range out.Values {
+		ts := out.TimeAt(i)
+		if !ts.Before(at) && ts.Before(end) {
+			out.Values[i] *= factor
+		}
+	}
+	return out, nil
+}
+
+// ShiftPhase returns a copy of the trace rotated by the given offset —
+// the mid-term access-pattern shift of §3.6 ("usually caused by the change
+// of accessing patterns"). Positive offsets move the pattern later in time.
+func ShiftPhase(tr timeseries.Series, offset time.Duration) (timeseries.Series, error) {
+	if err := tr.Validate(); err != nil {
+		return timeseries.Series{}, err
+	}
+	n := tr.Len()
+	shift := int(offset/tr.Step) % n
+	if shift < 0 {
+		shift += n
+	}
+	out := tr.Clone()
+	for i := 0; i < n; i++ {
+		out.Values[(i+shift)%n] = tr.Values[i]
+	}
+	return out, nil
+}
+
+// DriftFleet applies a phase shift to a deterministic subset of a fleet's
+// latency-critical traces (every strideth LC instance), returning a fresh
+// trace table. It is the canonical drift scenario the monitor must detect.
+func DriftFleet(f *Fleet, offset time.Duration, stride int) (map[string]timeseries.Series, error) {
+	if stride < 1 {
+		return nil, fmt.Errorf("workload: stride must be ≥ 1")
+	}
+	out := make(map[string]timeseries.Series, len(f.Instances))
+	lcSeen := 0
+	for _, inst := range f.Instances {
+		if inst.Class == LatencyCritical {
+			lcSeen++
+			if lcSeen%stride == 0 {
+				shifted, err := ShiftPhase(inst.Trace, offset)
+				if err != nil {
+					return nil, fmt.Errorf("workload: drifting %q: %w", inst.ID, err)
+				}
+				out[inst.ID] = shifted
+				continue
+			}
+		}
+		out[inst.ID] = inst.Trace
+	}
+	return out, nil
+}

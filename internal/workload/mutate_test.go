@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+func flatTrace(n int, v float64) timeseries.Series {
+	return timeseries.Constant(monday, time.Hour, n, v)
+}
+
+func TestInjectBurst(t *testing.T) {
+	tr := flatTrace(10, 100)
+	burst, err := InjectBurst(tr, monday.Add(2*time.Hour), 3*time.Hour, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100, 100, 150, 150, 150, 100, 100, 100, 100, 100}
+	for i, v := range burst.Values {
+		if math.Abs(v-want[i]) > 1e-9 {
+			t.Fatalf("burst values: %v", burst.Values)
+		}
+	}
+	// Original untouched.
+	if tr.Values[2] != 100 {
+		t.Fatal("input mutated")
+	}
+	if _, err := InjectBurst(tr, monday, time.Hour, -0.1); err == nil {
+		t.Fatal("negative magnitude must error")
+	}
+	if _, err := InjectBurst(tr, monday, 0, 0.5); err == nil {
+		t.Fatal("zero duration must error")
+	}
+}
+
+func TestInjectOutage(t *testing.T) {
+	tr := flatTrace(5, 100)
+	out, err := InjectOutage(tr, monday.Add(time.Hour), 2*time.Hour, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Values[0] != 100 || out.Values[1] != 20 || out.Values[2] != 20 || out.Values[3] != 100 {
+		t.Fatalf("outage values: %v", out.Values)
+	}
+	if _, err := InjectOutage(tr, monday, time.Hour, 1); err == nil {
+		t.Fatal("residual 1 must error")
+	}
+}
+
+func TestShiftPhase(t *testing.T) {
+	tr := timeseries.New(monday, time.Hour, []float64{1, 2, 3, 4})
+	fwd, err := ShiftPhase(tr, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 1, 2, 3}
+	for i, v := range fwd.Values {
+		if v != want[i] {
+			t.Fatalf("forward shift: %v", fwd.Values)
+		}
+	}
+	back, err := ShiftPhase(tr, -time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBack := []float64{2, 3, 4, 1}
+	for i, v := range back.Values {
+		if v != wantBack[i] {
+			t.Fatalf("backward shift: %v", back.Values)
+		}
+	}
+	// Shifting by a full cycle is the identity.
+	full, err := ShiftPhase(tr, 4*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range full.Values {
+		if v != tr.Values[i] {
+			t.Fatalf("full-cycle shift: %v", full.Values)
+		}
+	}
+}
+
+func TestDriftFleet(t *testing.T) {
+	spec := GenSpec{
+		Mix:   map[string]int{"frontend": 4, "hadoop": 2},
+		Start: monday, Step: time.Hour, Weeks: 1,
+		PhaseJitterHours: 0.5, Seed: 3,
+	}
+	fleet, err := Generate(spec, StandardProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := DriftFleet(fleet, 2*time.Hour, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drifted) != 6 {
+		t.Fatalf("drifted fleet size %d", len(drifted))
+	}
+	changed := 0
+	for _, inst := range fleet.Instances {
+		same := true
+		d := drifted[inst.ID]
+		for i := range d.Values {
+			if d.Values[i] != inst.Trace.Values[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			if inst.Class != LatencyCritical {
+				t.Fatalf("non-LC instance %s drifted", inst.ID)
+			}
+			changed++
+		}
+	}
+	// Every 2nd LC instance of 4 → 2 changed.
+	if changed != 2 {
+		t.Fatalf("changed = %d, want 2", changed)
+	}
+	if _, err := DriftFleet(fleet, time.Hour, 0); err == nil {
+		t.Fatal("stride 0 must error")
+	}
+}

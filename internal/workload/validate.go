@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/timeseries"
+)
+
+// ClassExpectation encodes what a workload class's traces must look like —
+// the §2.3 characterization turned into checkable invariants.
+type ClassExpectation struct {
+	// PeakHourLo/Hi bound the expected daily peak hour (circular range; Lo
+	// may exceed Hi to wrap midnight). Zero values skip the check.
+	PeakHourLo, PeakHourHi float64
+	// MinSwing and MaxSwing bound the daily swing ratio.
+	MinSwing, MaxSwing float64
+	// MinDayCorrelation is the least acceptable day-to-day repeatability.
+	MinDayCorrelation float64
+}
+
+// StandardExpectations returns the checkable form of §2.3: user-facing LC
+// peaks in the afternoon/evening with a deep swing, db backends peak at
+// night, batch runs flat-high, and all are strongly repeatable day to day.
+func StandardExpectations() map[Class]ClassExpectation {
+	return map[Class]ClassExpectation{
+		LatencyCritical: {PeakHourLo: 11, PeakHourHi: 22, MinSwing: 0.3, MaxSwing: 0.95, MinDayCorrelation: 0.6},
+		Backend:         {PeakHourLo: 22, PeakHourHi: 8, MinSwing: 0.15, MaxSwing: 0.9, MinDayCorrelation: 0.5},
+		Batch:           {MinSwing: 0, MaxSwing: 0.35, MinDayCorrelation: 0},
+		Storage:         {MinSwing: 0, MaxSwing: 0.3, MinDayCorrelation: 0},
+		Dev:             {MinSwing: 0.05, MaxSwing: 0.9, MinDayCorrelation: 0},
+	}
+}
+
+// Violation describes one instance whose trace breaks its class expectation.
+type Violation struct {
+	// InstanceID and Class identify the offender.
+	InstanceID string
+	Class      Class
+	// Reason explains the failed check.
+	Reason string
+}
+
+// ValidateFleet checks every instance's averaged trace against its class
+// expectation, returning the violations (empty means the synthetic fleet is
+// behaving like §2.3 says production does). Instances are validated on
+// their first whole week.
+func ValidateFleet(f *Fleet, expectations map[Class]ClassExpectation) ([]Violation, error) {
+	if expectations == nil {
+		expectations = StandardExpectations()
+	}
+	var out []Violation
+	for _, inst := range f.Instances {
+		exp, ok := expectations[inst.Class]
+		if !ok {
+			continue
+		}
+		stats, err := inst.Trace.Diurnal()
+		if err != nil {
+			return nil, fmt.Errorf("workload: validating %q: %w", inst.ID, err)
+		}
+		if v := checkExpectation(inst, exp, stats); v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out, nil
+}
+
+func checkExpectation(inst *Instance, exp ClassExpectation, stats timeseries.DiurnalStats) *Violation {
+	fail := func(format string, args ...interface{}) *Violation {
+		return &Violation{InstanceID: inst.ID, Class: inst.Class, Reason: fmt.Sprintf(format, args...)}
+	}
+	if exp.PeakHourLo != 0 || exp.PeakHourHi != 0 {
+		if !hourInRange(stats.PeakHour, exp.PeakHourLo, exp.PeakHourHi) {
+			return fail("peak hour %.1f outside [%g, %g]", stats.PeakHour, exp.PeakHourLo, exp.PeakHourHi)
+		}
+	}
+	if stats.SwingRatio < exp.MinSwing {
+		return fail("swing %.2f below %g", stats.SwingRatio, exp.MinSwing)
+	}
+	if exp.MaxSwing > 0 && stats.SwingRatio > exp.MaxSwing {
+		return fail("swing %.2f above %g", stats.SwingRatio, exp.MaxSwing)
+	}
+	if stats.DayToDayCorrelation < exp.MinDayCorrelation {
+		return fail("day-to-day correlation %.2f below %g", stats.DayToDayCorrelation, exp.MinDayCorrelation)
+	}
+	return nil
+}
+
+// hourInRange tests membership in a circular hour range; lo > hi wraps
+// midnight (e.g. [22, 8]).
+func hourInRange(h, lo, hi float64) bool {
+	if lo <= hi {
+		return h >= lo && h <= hi
+	}
+	return h >= lo || h <= hi
+}
+
+// FormatViolations renders a violation list (or a clean bill of health).
+func FormatViolations(violations []Violation) string {
+	if len(violations) == 0 {
+		return "fleet validation: all instances match their class expectations\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet validation: %d violations\n", len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(&b, "  %-20s %-8s %s\n", v.InstanceID, v.Class, v.Reason)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+func TestValidateFleetCleanOnStandardDCs(t *testing.T) {
+	// The synthetic fleets must satisfy the §2.3 characterization they are
+	// built to reproduce — with per-instance phase spread, LC peak hours
+	// wander, so the LC window is widened by the DC's jitter.
+	for _, name := range AllDCs {
+		cfg, err := StandardDCConfig(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Gen.Step = time.Hour
+		fleet, err := Generate(cfg.Gen, StandardProfiles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := StandardExpectations()
+		lc := exp[LatencyCritical]
+		spread := 1.8 * cfg.Gen.PhaseJitterHours
+		lc.PeakHourLo -= spread
+		lc.PeakHourHi += spread
+		if lc.PeakHourLo < 0 {
+			lc.PeakHourLo += 24
+		}
+		if lc.PeakHourHi >= 24 {
+			lc.PeakHourHi -= 24
+		}
+		exp[LatencyCritical] = lc
+		be := exp[Backend]
+		be.PeakHourLo -= spread
+		be.PeakHourHi += spread
+		if be.PeakHourLo < 0 {
+			be.PeakHourLo += 24
+		}
+		exp[Backend] = be
+
+		violations, err := ValidateFleet(fleet, exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tolerate a small tail of outliers from amplitude/noise draws.
+		if frac := float64(len(violations)) / float64(len(fleet.Instances)); frac > 0.05 {
+			t.Fatalf("%s: %.0f%% violations:\n%s", name, 100*frac, FormatViolations(violations[:minInt(8, len(violations))]))
+		}
+	}
+}
+
+func TestValidateFleetCatchesMisbehaviour(t *testing.T) {
+	spec := GenSpec{
+		Mix:   map[string]int{"frontend": 2},
+		Start: monday, Step: time.Hour, Weeks: 1,
+		Seed: 1,
+	}
+	fleet, err := Generate(spec, StandardProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flatten one instance's trace: an LC instance with no swing violates.
+	flat := timeseries.Constant(monday, time.Hour, fleet.Instances[0].Trace.Len(), 150)
+	fleet.Instances[0].Trace = flat
+	violations, err := ValidateFleet(fleet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range violations {
+		// A constant trace violates either the peak-hour window (its argmax
+		// degenerates to hour 0) or the swing floor — both are correct flags.
+		if v.InstanceID == fleet.Instances[0].ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flat LC instance not flagged: %+v", violations)
+	}
+	out := FormatViolations(violations)
+	if !strings.Contains(out, "violations") {
+		t.Fatal("FormatViolations output")
+	}
+	if FormatViolations(nil) == out {
+		t.Fatal("clean report must differ")
+	}
+}
+
+func TestHourInRange(t *testing.T) {
+	cases := []struct {
+		h, lo, hi float64
+		want      bool
+	}{
+		{12, 11, 22, true}, {23, 11, 22, false},
+		{23, 22, 8, true}, {3, 22, 8, true}, {12, 22, 8, false},
+	}
+	for _, c := range cases {
+		if got := hourInRange(c.h, c.lo, c.hi); got != c.want {
+			t.Errorf("hourInRange(%v, %v, %v) = %v", c.h, c.lo, c.hi, got)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the package doc
+// advertises it.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg, err := repro.StandardDatacenter(repro.DC3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Gen.Step = time.Hour
+	fleet, tree, err := repro.BuildDatacenter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := repro.New(repro.Config{
+		TopServices: 8,
+		Seed:        1,
+		Baseline:    repro.ObliviousBaseline(cfg.BaselineMix),
+	})
+	pr, err := fw.Optimize(fleet, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.RPPReductionPct <= 0 {
+		t.Fatalf("RPP reduction = %v", pr.RPPReductionPct)
+	}
+	rr, err := fw.Reshape(fleet, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.TBImp.LCPct <= 0 {
+		t.Fatalf("throughput improvement = %+v", rr.TBImp)
+	}
+}
+
+func TestFacadeTreeAndPlacer(t *testing.T) {
+	tree, err := repro.BuildTree(repro.TopologySpec{
+		Name: "demo", SuitesPerDC: 1, MSBsPerSuite: 2, SBsPerMSB: 2, RPPsPerSB: 2,
+		LeafBudget: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.NodesAtLevel(repro.LevelRPP)); got != 8 {
+		t.Fatalf("leaves = %d", got)
+	}
+	if repro.WorkloadAwarePlacer(4, 1) == nil || repro.ObliviousBaseline(0.5) == nil {
+		t.Fatal("placer constructors")
+	}
+	if len(repro.StandardProfiles()) == 0 {
+		t.Fatal("profiles")
+	}
+}
+
+func TestFacadeErrorPaths(t *testing.T) {
+	if _, err := repro.StandardDatacenter("DC9", 1); err == nil {
+		t.Fatal("unknown DC must error")
+	}
+	if _, err := repro.StandardDatacenter(repro.DC1, 0); err == nil {
+		t.Fatal("zero scale must error")
+	}
+	if _, err := repro.BuildTree(repro.TopologySpec{}); err == nil {
+		t.Fatal("empty topology must error")
+	}
+	cfg, err := repro.StandardDatacenter(repro.DC1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InstancesPerLeaf = 0
+	if _, _, err := repro.BuildDatacenter(cfg); err == nil {
+		t.Fatal("invalid DC config must error")
+	}
+}
+
+func TestFacadeRuntimeConstruction(t *testing.T) {
+	store := repro.NewTraceStore(repro.TraceStoreConfig{})
+	tree, err := repro.BuildTree(repro.TopologySpec{
+		Name: "f", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2, LeafBudget: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := repro.NewRuntime(repro.New(repro.Config{}), store, tree, repro.RuntimeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Tree() != tree {
+		t.Fatal("runtime tree accessor")
+	}
+	if _, err := repro.NewRuntime(nil, store, tree, repro.RuntimeConfig{}); err == nil {
+		t.Fatal("nil framework must error")
+	}
+}
