@@ -2,25 +2,37 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments ablations extensions fuzz clean
+.PHONY: all check build vet test test-race race cover bench bench-parallel experiments ablations extensions fuzz clean
 
-all: build test
+all: check
+
+# check is the pre-merge gate: build, vet, the full test suite, and the same
+# suite again under the race detector (the parallel pipeline must be
+# data-race-free and bit-identical at any worker count).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
-race:
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+bench-parallel:
+	$(GO) test -run=NONE -bench='Parallel|Serial' -benchmem .
 
 experiments:
 	$(GO) run ./cmd/experiments -all

@@ -6,11 +6,15 @@
 package repro_test
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/powertree"
+	"repro/internal/score"
+	"repro/internal/timeseries"
 	"repro/internal/workload"
 )
 
@@ -293,3 +297,69 @@ func BenchmarkAblationForecastPlacement(b *testing.B) {
 		return experiments.AblationForecast(workload.DC3, benchOpt())
 	}, "forecast-rpp-reduction-%", 1)
 }
+
+// Serial vs parallel benches — the same work at workers=1 and workers=8.
+// Outputs are bit-identical (see equivalence_test.go); only wall-clock
+// should differ. `make bench-parallel` runs exactly these.
+
+// benchScoreInput builds a scoring workload big enough that per-instance
+// work dominates scheduling overhead: 512 day-long instance traces against
+// an 8-trace basis.
+func benchScoreInput() ([]timeseries.Series, []timeseries.Series) {
+	t0 := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(17))
+	insts := make([]timeseries.Series, 512)
+	for i := range insts {
+		s := timeseries.Zeros(t0, 5*time.Minute, 288)
+		for j := range s.Values {
+			s.Values[j] = 50 + 250*rng.Float64()
+		}
+		insts[i] = s
+	}
+	return insts, insts[:8]
+}
+
+func benchmarkScoreVectors(b *testing.B, workers int) {
+	insts, basis := benchScoreInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := score.VectorsParallel(insts, basis, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScoreVectorsSerial(b *testing.B)    { benchmarkScoreVectors(b, 1) }
+func BenchmarkScoreVectorsParallel8(b *testing.B) { benchmarkScoreVectors(b, 8) }
+
+func benchmarkKMeansRestarts(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(5))
+	points := make([][]float64, 600)
+	for i := range points {
+		points[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(points, cluster.Config{K: 8, Seed: 3, Restarts: 8, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansRestartsSerial(b *testing.B)    { benchmarkKMeansRestarts(b, 1) }
+func BenchmarkKMeansRestartsParallel8(b *testing.B) { benchmarkKMeansRestarts(b, 8) }
+
+func benchmarkSweep(b *testing.B, workers int) {
+	opt := benchOpt()
+	opt.Workers = workers
+	mixes := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SweepBaselineMix(workload.DC3, opt, mixes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepBaselineMixSerial(b *testing.B)    { benchmarkSweep(b, 1) }
+func BenchmarkSweepBaselineMixParallel8(b *testing.B) { benchmarkSweep(b, 8) }

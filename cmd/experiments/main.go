@@ -31,11 +31,12 @@ func main() {
 		scale      = flag.Int("scale", 4, "fleet scale multiplier")
 		step       = flag.Duration("step", 10*time.Minute, "trace sampling interval")
 		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = SMOOTHOP_WORKERS or GOMAXPROCS); results are identical for any count")
 		csvDir     = flag.String("csv-dir", "", "also dump every figure's data as CSV files into this directory")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Scale: *scale, Step: *step, Seed: *seed}
+	opt := experiments.Options{Scale: *scale, Step: *step, Seed: *seed, Workers: *workers}
 	if err := run(opt, *fig, *table, *all, *ablations, *extensions, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

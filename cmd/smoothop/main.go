@@ -30,18 +30,19 @@ func main() {
 		step      = flag.Duration("step", 10*time.Minute, "trace sampling interval")
 		seed      = flag.Int64("seed", 1, "random seed")
 		topB      = flag.Int("top", 8, "|B|: S-trace basis size")
+		workers   = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = SMOOTHOP_WORKERS or GOMAXPROCS); results are identical for any count")
 		fleetFile = flag.String("fleet", "", "load a saved fleet (tracegen -format fleet) instead of generating")
 		csvOut    = flag.String("csv", "", "write the throttle/boost run's time series as CSV to this file")
 	)
 	flag.Parse()
 
-	if err := run(*dc, *scale, *step, *seed, *topB, *fleetFile, *csvOut); err != nil {
+	if err := run(*dc, *scale, *step, *seed, *topB, *workers, *fleetFile, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "smoothop:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dc string, scale int, step time.Duration, seed int64, topB int, fleetFile, csvOut string) error {
+func run(dc string, scale int, step time.Duration, seed int64, topB, workers int, fleetFile, csvOut string) error {
 	cfg, err := workload.StandardDCConfig(workload.DCName(dc), scale)
 	if err != nil {
 		return err
@@ -87,6 +88,7 @@ func run(dc string, scale int, step time.Duration, seed int64, topB int, fleetFi
 		Seed:        seed,
 		Baseline:    placement.Oblivious{MixFraction: cfg.BaselineMix},
 		Latency:     sim.LatencyModel{ServiceTimeMs: 2, SLAms: 92},
+		Workers:     workers,
 	})
 	pr, err := fw.Optimize(fleet, tree)
 	if err != nil {

@@ -1,0 +1,96 @@
+// Serial/parallel equivalence: every parallel stage must produce results
+// bit-identical to its serial counterpart regardless of the worker count.
+// Each case runs at workers ∈ {1, 4, GOMAXPROCS} and asserts byte-identical
+// outputs (float64 comparison via reflect.DeepEqual is exact — no epsilon).
+package repro_test
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/score"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+func workerCounts() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+func TestScoreVectorsEquivalence(t *testing.T) {
+	t0 := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(3))
+	insts := make([]timeseries.Series, 64)
+	for i := range insts {
+		s := timeseries.Zeros(t0, 10*time.Minute, 144)
+		for j := range s.Values {
+			s.Values[j] = 50 + 200*rng.Float64()
+		}
+		insts[i] = s
+	}
+	basis := insts[:7]
+
+	var want [][]float64
+	for _, w := range workerCounts() {
+		got, err := score.VectorsParallel(insts, basis, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: score vectors differ from serial run", w)
+		}
+	}
+}
+
+func TestKMeansRestartsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	points := make([][]float64, 150)
+	for i := range points {
+		points[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	var want *cluster.Result
+	for _, w := range workerCounts() {
+		got, err := cluster.KMeans(points, cluster.Config{K: 5, Seed: 2, Restarts: 8, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: k-means result differs from serial run", w)
+		}
+	}
+}
+
+func TestExperimentsSweepEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short")
+	}
+	mixes := []float64{0, 0.5}
+	var want []experiments.SensitivityRow
+	for _, w := range workerCounts() {
+		opt := experiments.Options{Scale: 1, Step: time.Hour, Seed: 1, TopServices: 8, Workers: w}
+		got, err := experiments.SweepBaselineMix(workload.DC3, opt, mixes)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: sweep rows differ from serial run: got %+v want %+v", w, got, want)
+		}
+	}
+}

@@ -7,11 +7,14 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Errors returned by clustering entry points.
@@ -53,10 +56,15 @@ type Config struct {
 	// MaxIters bounds Lloyd iterations; 0 means 100.
 	MaxIters int
 	// Restarts runs the whole algorithm multiple times and keeps the best
-	// inertia; 0 means 1 run.
+	// inertia; 0 means 1 run. Restarts are independent (each gets its own
+	// rng derived from Seed and the restart index) and run concurrently.
 	Restarts int
 	// Seed makes the run deterministic.
 	Seed int64
+	// Workers bounds the goroutines running restarts; 0 means the package
+	// default (SMOOTHOP_WORKERS or GOMAXPROCS). The result is identical for
+	// any worker count.
+	Workers int
 }
 
 func sqDist(a, b []float64) float64 {
@@ -87,8 +95,10 @@ func validate(points [][]float64, k int) error {
 // seedPlusPlus picks k initial centroids with the k-means++ rule.
 func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 	centroids := make([][]float64, 0, k)
-	first := points[rng.Intn(len(points))]
-	centroids = append(centroids, append([]float64(nil), first...))
+	chosen := make([]bool, len(points))
+	firstIdx := rng.Intn(len(points))
+	chosen[firstIdx] = true
+	centroids = append(centroids, append([]float64(nil), points[firstIdx]...))
 	dists := make([]float64, len(points))
 	for i, p := range points {
 		dists[i] = sqDist(p, centroids[0])
@@ -98,14 +108,24 @@ func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 		for _, d := range dists {
 			total += d
 		}
-		var next []float64
+		var idx int
 		if total == 0 {
-			// All remaining points coincide with a centroid; pick uniformly.
-			next = points[rng.Intn(len(points))]
+			// Every remaining point coincides with an already-chosen
+			// centroid. Picking uniformly from *all* points here could
+			// re-pick a chosen point and duplicate a centroid, leaving its
+			// cluster empty; restrict the fallback to points not yet chosen
+			// (always non-empty since k ≤ len(points)).
+			free := make([]int, 0, len(points)-len(centroids))
+			for i := range points {
+				if !chosen[i] {
+					free = append(free, i)
+				}
+			}
+			idx = free[rng.Intn(len(free))]
 		} else {
 			target := rng.Float64() * total
 			acc := 0.0
-			idx := len(points) - 1
+			idx = len(points) - 1
 			for i, d := range dists {
 				acc += d
 				if acc >= target {
@@ -113,9 +133,9 @@ func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 					break
 				}
 			}
-			next = points[idx]
 		}
-		centroids = append(centroids, append([]float64(nil), next...))
+		chosen[idx] = true
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
 		for i, p := range points {
 			if d := sqDist(p, centroids[len(centroids)-1]); d < dists[i] {
 				dists[i] = d
@@ -140,15 +160,39 @@ func KMeans(points [][]float64, cfg Config) (*Result, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var best *Result
-	for r := 0; r < restarts; r++ {
-		res := lloyd(points, cfg.K, maxIters, rng)
-		if best == nil || res.Inertia < best.Inertia {
+	// Restarts are independent: each derives its own rng from (Seed, index)
+	// and writes its result at its index, so the best-inertia selection below
+	// — in index order, earliest wins on ties — is bit-identical to a serial
+	// run for any worker count.
+	results := make([]*Result, restarts)
+	if err := parallel.ForEach(context.Background(), restarts, cfg.Workers, func(r int) error {
+		rng := rand.New(rand.NewSource(restartSeed(cfg.Seed, r)))
+		results[r] = lloyd(points, cfg.K, maxIters, rng)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.Inertia < best.Inertia {
 			best = res
 		}
 	}
 	return best, nil
+}
+
+// restartSeed derives the rng seed of restart r. Restart 0 uses the
+// configured seed unchanged (so single-restart runs reproduce the historical
+// serial results); later restarts get independent index-addressed streams
+// via a SplitMix64-style mix, never a shared sequential stream.
+func restartSeed(seed int64, r int) int64 {
+	if r == 0 {
+		return seed
+	}
+	z := uint64(seed) + uint64(r)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 func lloyd(points [][]float64, k, maxIters int, rng *rand.Rand) *Result {

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// countValue returns how many centroids equal the given point.
+func countValue(centroids [][]float64, want []float64) int {
+	n := 0
+	for _, c := range centroids {
+		if reflect.DeepEqual(c, want) {
+			n++
+		}
+	}
+	return n
+}
+
+// Regression test for the k-means++ zero-distance fallback: with coincident
+// points, once every distinct value has been chosen the remaining distances
+// are all zero, and the old fallback picked uniformly from *all* points —
+// re-picking an already-chosen point, duplicating a centroid, and leaving a
+// cluster empty. The fix restricts the fallback to unchosen points, so the
+// k centroids are always k distinct point indices.
+func TestSeedPlusPlusCoincidentPoints(t *testing.T) {
+	// Two coincident points plus one outlier, k = 3: a correct seeding must
+	// use all three point indices, i.e. the outlier appears exactly once.
+	points := [][]float64{{0, 0}, {0, 0}, {5, 5}}
+	for seed := int64(0); seed < 64; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cents := seedPlusPlus(points, 3, rng)
+		if n := countValue(cents, []float64{5, 5}); n != 1 {
+			t.Fatalf("seed %d: outlier chosen %d times, want 1 (centroids %v)", seed, n, cents)
+		}
+	}
+}
+
+func TestSeedPlusPlusCoincidentPairs(t *testing.T) {
+	// Two coincident pairs, k = 4: every point index must be chosen, so each
+	// value appears exactly twice.
+	points := [][]float64{{0, 0}, {0, 0}, {9, 9}, {9, 9}}
+	for seed := int64(0); seed < 64; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cents := seedPlusPlus(points, 4, rng)
+		if a, b := countValue(cents, []float64{0, 0}), countValue(cents, []float64{9, 9}); a != 2 || b != 2 {
+			t.Fatalf("seed %d: value counts %d/%d, want 2/2 (centroids %v)", seed, a, b, cents)
+		}
+	}
+}
+
+func TestKMeansCoincidentPointsNoEmptyCluster(t *testing.T) {
+	points := [][]float64{{0, 0}, {0, 0}, {5, 5}}
+	for seed := int64(0); seed < 16; seed++ {
+		res, err := KMeans(points, Config{K: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, size := range res.Sizes {
+			if size != 1 {
+				t.Fatalf("seed %d: cluster %d has size %d, want 1 (sizes %v)", seed, c, size, res.Sizes)
+			}
+		}
+		if res.Inertia != 0 {
+			t.Fatalf("seed %d: inertia %v, want 0", seed, res.Inertia)
+		}
+	}
+}
+
+func TestKMeansRestartsParallelMatchesSerial(t *testing.T) {
+	points, _ := blobs(4, 30, 3, 5)
+	cfg := Config{K: 4, Seed: 9, Restarts: 6}
+	cfg.Workers = 1
+	want, err := KMeans(points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		cfg.Workers = workers
+		got, err := KMeans(points, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: restart result differs from serial", workers)
+		}
+	}
+}
+
+func TestBalancedKMeansParallelMatchesSerial(t *testing.T) {
+	points, _ := blobs(3, 24, 2, 8)
+	cfg := Config{K: 3, Seed: 4, Restarts: 4}
+	cfg.Workers = 1
+	want, err := BalancedKMeans(points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	got, err := BalancedKMeans(points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("balanced k-means differs between serial and parallel restarts")
+	}
+}
+
+func TestRestartSeedIndexAddressed(t *testing.T) {
+	if restartSeed(42, 0) != 42 {
+		t.Fatal("restart 0 must reuse the configured seed")
+	}
+	seen := map[int64]bool{}
+	for r := 0; r < 100; r++ {
+		s := restartSeed(42, r)
+		if seen[s] {
+			t.Fatalf("restart seeds collide at r=%d", r)
+		}
+		seen[s] = true
+	}
+}

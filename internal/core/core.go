@@ -55,6 +55,11 @@ type Config struct {
 	// the averaged I-traces — proactive planning for trending fleets. The
 	// baseline placement and all evaluation stay on the standard data.
 	PlaceOnForecast bool
+	// Workers bounds the goroutines the pipeline's parallel stages use
+	// (scoring, clustering restarts, strategy simulations); 0 means the
+	// default (SMOOTHOP_WORKERS or GOMAXPROCS). Results are identical for
+	// any worker count.
+	Workers int
 }
 
 func (c Config) topServices() int {
@@ -174,6 +179,7 @@ func (f *Framework) Optimize(fleet *workload.Fleet, tree *powertree.Node) (*Plac
 		TopServices:      f.cfg.topServices(),
 		ClustersPerChild: f.cfg.ClustersPerChild,
 		Seed:             f.cfg.Seed,
+		Workers:          f.cfg.Workers,
 	}
 	if err := placer.Place(optTree, instances, placeFn); err != nil {
 		return nil, fmt.Errorf("core: workload-aware placement: %w", err)
@@ -313,9 +319,9 @@ func (f *Framework) Reshape(fleet *workload.Fleet, pr *PlacementResult) (*Reshap
 		}
 	}
 
-	run := func(nConvRun, nExtraRun int, peakServers int, policy sim.Policy) (*sim.Result, error) {
+	mkCfg := func(nConvRun, nExtraRun int, peakServers int, policy sim.Policy) sim.Config {
 		load := testLoad.Scale(float64(peakServers) * lconv)
-		return sim.Run(sim.Config{
+		return sim.Config{
 			LCLoad: load,
 			NLC:    nLC, NBatch: nBatch,
 			NConv: nConvRun, NThrottleConv: nExtraRun,
@@ -331,25 +337,20 @@ func (f *Framework) Reshape(fleet *workload.Fleet, pr *PlacementResult) (*Reshap
 			// state lives on disaggregated storage so compute can power down.
 			ConvIdlePower: 0.3 * batchModel.Idle,
 			Policy:        policy,
-		})
+		}
 	}
 
-	baseline, err := run(0, 0, nLC, reshape.StaticLC{})
+	// The four strategy simulations are independent; run them side by side.
+	results, err := sim.RunMany([]sim.Config{
+		mkCfg(0, 0, nLC, reshape.StaticLC{}),
+		mkCfg(nConv, 0, nLC+nConv, reshape.StaticLC{Conv: nConv}),
+		mkCfg(nConv, 0, nLC+nConv, reshape.Conversion{NLC: nLC, Pool: nConv, Lconv: lconv}),
+		mkCfg(nConv, nExtra, nLC+nConv+nExtra, &reshape.ThrottleBoost{NLC: nLC, NBatch: nThrottleable, Pool: nConv, ExtraPool: nExtra, Lconv: lconv}),
+	}, f.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	static, err := run(nConv, 0, nLC+nConv, reshape.StaticLC{Conv: nConv})
-	if err != nil {
-		return nil, err
-	}
-	conv, err := run(nConv, 0, nLC+nConv, reshape.Conversion{NLC: nLC, Pool: nConv, Lconv: lconv})
-	if err != nil {
-		return nil, err
-	}
-	tb, err := run(nConv, nExtra, nLC+nConv+nExtra, &reshape.ThrottleBoost{NLC: nLC, NBatch: nThrottleable, Pool: nConv, ExtraPool: nExtra, Lconv: lconv})
-	if err != nil {
-		return nil, err
-	}
+	baseline, static, conv, tb := results[0], results[1], results[2], results[3]
 
 	res := &ReshapeResult{
 		NLC: nLC, NBatch: nBatch, NConv: nConv, NThrottleConv: nExtra,

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/forecast"
+	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/powertree"
 	"repro/internal/timeseries"
@@ -22,9 +24,26 @@ type AblationRow struct {
 	RPPReductionPct float64
 }
 
+// variantSpec names one placer variant for runVariants.
+type variantSpec struct {
+	label  string
+	placer placement.WorkloadAware
+	weeks  int
+}
+
+// runVariants evaluates placer variants side by side, in input order.
+func runVariants(name workload.DCName, opt Options, specs []variantSpec) ([]AblationRow, error) {
+	return parallel.Map(context.Background(), len(specs), opt.Workers, func(i int) (AblationRow, error) {
+		return runVariant(name, opt, specs[i].label, specs[i].placer, specs[i].weeks)
+	})
+}
+
 // runVariant evaluates one placer variant on a fresh DC instance.
 func runVariant(name workload.DCName, opt Options, variant string, placer placement.WorkloadAware, trainWeeks int) (AblationRow, error) {
 	opt = opt.withDefaults()
+	if placer.Workers == 0 {
+		placer.Workers = opt.Workers
+	}
 	run, err := Setup(name, opt)
 	if err != nil {
 		return AblationRow{}, err
@@ -76,42 +95,20 @@ func maxInt(a, b int) int {
 // I-to-I pairwise embedding §3.4 argues against.
 func AblationEmbedding(name workload.DCName, opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, v := range []struct {
-		label  string
-		placer placement.WorkloadAware
-	}{
-		{"I-to-S (paper)", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}},
-		{"I-to-I sample=32", placement.WorkloadAware{Seed: opt.Seed, IToI: true, IToISample: 32}},
-	} {
-		row, err := runVariant(name, opt, v.label, v.placer, 2)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return runVariants(name, opt, []variantSpec{
+		{"I-to-S (paper)", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}, 2},
+		{"I-to-I sample=32", placement.WorkloadAware{Seed: opt.Seed, IToI: true, IToISample: 32}, 2},
+	})
 }
 
 // AblationClustering compares balanced k-means (paper) against plain
 // k-means in the placement step.
 func AblationClustering(name workload.DCName, opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, v := range []struct {
-		label  string
-		placer placement.WorkloadAware
-	}{
-		{"balanced k-means (paper)", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}},
-		{"plain k-means", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed, PlainKMeans: true}},
-	} {
-		row, err := runVariant(name, opt, v.label, v.placer, 2)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return runVariants(name, opt, []variantSpec{
+		{"balanced k-means (paper)", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}, 2},
+		{"plain k-means", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed, PlainKMeans: true}, 2},
+	})
 }
 
 // AblationBasisSize sweeps |B|, the number of S-trace bases.
@@ -120,53 +117,33 @@ func AblationBasisSize(name workload.DCName, opt Options, sizes []int) ([]Ablati
 	if len(sizes) == 0 {
 		sizes = []int{2, 4, 8, 12}
 	}
-	var rows []AblationRow
-	for _, b := range sizes {
-		row, err := runVariant(name, opt, fmt.Sprintf("|B|=%d", b),
-			placement.WorkloadAware{TopServices: b, Seed: opt.Seed}, 2)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+	specs := make([]variantSpec, len(sizes))
+	for i, b := range sizes {
+		specs[i] = variantSpec{fmt.Sprintf("|B|=%d", b), placement.WorkloadAware{TopServices: b, Seed: opt.Seed}, 2}
 	}
-	return rows, nil
+	return runVariants(name, opt, specs)
 }
 
 // AblationBasisScope compares per-subtree S-trace extraction (paper)
 // against a single global basis.
 func AblationBasisScope(name workload.DCName, opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
-	var rows []AblationRow
-	for _, v := range []struct {
-		label  string
-		placer placement.WorkloadAware
-	}{
-		{"per-subtree basis (paper)", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}},
-		{"global basis", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed, GlobalBasis: true}},
-	} {
-		row, err := runVariant(name, opt, v.label, v.placer, 2)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return runVariants(name, opt, []variantSpec{
+		{"per-subtree basis (paper)", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}, 2},
+		{"global basis", placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed, GlobalBasis: true}, 2},
+	})
 }
 
 // AblationTrainWeeks compares single-week training against the paper's
 // multi-week averaged I-traces (the §3.3 overfitting guard).
 func AblationTrainWeeks(name workload.DCName, opt Options) ([]AblationRow, error) {
 	opt = opt.withDefaults()
-	var rows []AblationRow
+	specs := make([]variantSpec, 0, 2)
 	for _, weeks := range []int{1, 2} {
-		row, err := runVariant(name, opt, fmt.Sprintf("train=%dwk", weeks),
-			placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}, weeks)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		specs = append(specs, variantSpec{fmt.Sprintf("train=%dwk", weeks),
+			placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}, weeks})
 	}
-	return rows, nil
+	return runVariants(name, opt, specs)
 }
 
 // AblationRemap measures how far swap-based remapping alone (on the

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/powertree"
 	"repro/internal/score"
@@ -32,6 +34,11 @@ type Options struct {
 	Seed int64
 	// TopServices is |B| (default 8).
 	TopServices int
+	// Workers bounds the goroutines used by the per-DC, per-ablation and
+	// per-sweep-point fan-outs and by the pipeline stages underneath; 0
+	// means the default (SMOOTHOP_WORKERS or GOMAXPROCS). Every experiment
+	// returns identical data for any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +94,7 @@ func Run(name workload.DCName, opt Options) (*DCRun, error) {
 		TopServices: opt.TopServices,
 		Seed:        opt.Seed,
 		Baseline:    placement.Oblivious{MixFraction: run.Config.BaselineMix},
+		Workers:     opt.Workers,
 	})
 	run.Placement, err = fw.Optimize(run.Fleet, run.Tree)
 	if err != nil {
@@ -99,17 +107,11 @@ func Run(name workload.DCName, opt Options) (*DCRun, error) {
 	return run, nil
 }
 
-// RunAll executes the pipeline for all three datacenters.
+// RunAll executes the pipeline for all three datacenters, side by side.
 func RunAll(opt Options) ([]*DCRun, error) {
-	out := make([]*DCRun, 0, len(workload.AllDCs))
-	for _, name := range workload.AllDCs {
-		run, err := Run(name, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, run)
-	}
-	return out, nil
+	return parallel.Map(context.Background(), len(workload.AllDCs), opt.Workers, func(i int) (*DCRun, error) {
+		return Run(workload.AllDCs[i], opt)
+	})
 }
 
 // ---------------------------------------------------------------- Fig. 5
@@ -124,15 +126,24 @@ type Fig5Row struct {
 
 // Fig5 reports the breakdown of average power by service per datacenter.
 func Fig5(opt Options) ([]Fig5Row, error) {
-	var rows []Fig5Row
-	for _, name := range workload.AllDCs {
+	perDC, err := parallel.Map(context.Background(), len(workload.AllDCs), opt.Workers, func(i int) ([]Fig5Row, error) {
+		name := workload.AllDCs[i]
 		run, err := Setup(name, opt)
 		if err != nil {
 			return nil, err
 		}
+		var rows []Fig5Row
 		for _, sp := range run.Fleet.PowerBreakdown() {
 			rows = append(rows, Fig5Row{DC: name, Service: sp.Service, Class: sp.Class, SharePct: 100 * sp.Share})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig5Row
+	for _, r := range perDC {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }
@@ -282,7 +293,7 @@ func Fig8(opt Options, k int) ([]Fig8Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := cluster.KMeans(points, cluster.Config{K: k, Seed: opt.Seed, Restarts: 2})
+	res, err := cluster.KMeans(points, cluster.Config{K: k, Seed: opt.Seed, Restarts: 2, Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}

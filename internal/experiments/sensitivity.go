@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/placement"
 	"repro/internal/powerrouting"
 	"repro/internal/powertree"
@@ -55,7 +57,7 @@ func sweepOnce(name workload.DCName, opt Options, mutate func(*workload.DCConfig
 		return 0, err
 	}
 	opt2 := tree.Clone()
-	if err := (placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}).Place(opt2, instances, trainFn); err != nil {
+	if err := (placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed, Workers: opt.Workers}).Place(opt2, instances, trainFn); err != nil {
 		return 0, err
 	}
 	before, err := base.SumOfPeaks(powertree.RPP, testFn)
@@ -76,16 +78,14 @@ func SweepHeterogeneity(name workload.DCName, opt Options, jitterHours []float64
 	if len(jitterHours) == 0 {
 		jitterHours = []float64{0.25, 1, 2, 3.5}
 	}
-	out := make([]SensitivityRow, 0, len(jitterHours))
-	for _, j := range jitterHours {
-		j := j
+	return parallel.Map(context.Background(), len(jitterHours), opt.Workers, func(i int) (SensitivityRow, error) {
+		j := jitterHours[i]
 		red, err := sweepOnce(name, opt, func(c *workload.DCConfig) { c.Gen.PhaseJitterHours = j })
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
-		out = append(out, SensitivityRow{Param: j, RPPReductionPct: red})
-	}
-	return out, nil
+		return SensitivityRow{Param: j, RPPReductionPct: red}, nil
+	})
 }
 
 // SweepBaselineMix varies how balanced the historical placement is — the
@@ -95,16 +95,14 @@ func SweepBaselineMix(name workload.DCName, opt Options, mixes []float64) ([]Sen
 	if len(mixes) == 0 {
 		mixes = []float64{0, 0.25, 0.5, 0.75}
 	}
-	out := make([]SensitivityRow, 0, len(mixes))
-	for _, m := range mixes {
-		m := m
+	return parallel.Map(context.Background(), len(mixes), opt.Workers, func(i int) (SensitivityRow, error) {
+		m := mixes[i]
 		red, err := sweepOnce(name, opt, func(c *workload.DCConfig) { c.BaselineMix = m })
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
-		out = append(out, SensitivityRow{Param: m, RPPReductionPct: red})
-	}
-	return out, nil
+		return SensitivityRow{Param: m, RPPReductionPct: red}, nil
+	})
 }
 
 // FormatSensitivity renders a sweep.
@@ -192,7 +190,7 @@ func ExtensionRouting(name workload.DCName, opt Options, feeds int) (*RoutingCom
 	if err != nil {
 		return nil, err
 	}
-	if err := (placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed}).Place(tree, instances, placement.TraceFn(workload.SubPowerFn(avg))); err != nil {
+	if err := (placement.WorkloadAware{TopServices: opt.TopServices, Seed: opt.Seed, Workers: opt.Workers}).Place(tree, instances, placement.TraceFn(workload.SubPowerFn(avg))); err != nil {
 		return nil, err
 	}
 	placedSum, err := tree.SumOfPeaks(powertree.RPP, powertree.PowerFn(workload.SubPowerFn(test)))

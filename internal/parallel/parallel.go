@@ -1,0 +1,143 @@
+// Package parallel is the repository's concurrency substrate: a bounded,
+// index-addressed worker pool for the embarrassingly parallel hot paths
+// (per-instance asynchrony scoring, independent k-means restarts, per-DC
+// experiment fan-out, per-node trace aggregation, independent simulation
+// runs).
+//
+// The contract every caller relies on is determinism: results are written
+// by task index, never appended, and any randomness a task needs must be
+// derived from (seed, index), never drawn from a shared stream. Under that
+// contract a run with N workers is bit-identical to a serial run, so the
+// worker count is purely a throughput knob — set it with the SMOOTHOP_WORKERS
+// environment variable, a -workers flag, or a per-call argument.
+package parallel
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable consulted when a caller does not
+// pin a worker count explicitly.
+const EnvWorkers = "SMOOTHOP_WORKERS"
+
+// Workers resolves a requested worker count: a positive n wins; otherwise
+// the SMOOTHOP_WORKERS environment variable (if set to a positive integer);
+// otherwise GOMAXPROCS. The result is always ≥ 1.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers ≤ 0 means Workers(0)). Tasks are handed out in index order.
+//
+// Error semantics match a serial loop exactly: the error returned is the one
+// from the lowest failing index, and every index below it is guaranteed to
+// have run successfully. Indices above a known failure may be skipped.
+// Context cancellation counts as the failure of the first index that
+// observes it.
+//
+// fn must be safe to call from multiple goroutines and must confine its
+// writes to per-index state (out[i] = ...); under that contract ForEach is
+// deterministic for any worker count.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next  atomic.Int64 // next index to hand out, minus one
+		bound atomic.Int64 // lowest failing index seen so far, n if none
+		mu    sync.Mutex
+		errs  map[int]error
+		wg    sync.WaitGroup
+	)
+	next.Store(-1)
+	bound.Store(int64(n))
+	errs = make(map[int]error)
+	fail := func(i int, err error) {
+		mu.Lock()
+		errs[i] = err
+		mu.Unlock()
+		for {
+			cur := bound.Load()
+			if int64(i) >= cur || bound.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(n) || i > bound.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(int(i), err)
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					fail(int(i), err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if idx := bound.Load(); idx < int64(n) {
+		mu.Lock()
+		defer mu.Unlock()
+		return errs[int(idx)]
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) with ForEach's scheduling and collects the results
+// in index order. On error the partial results are discarded.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

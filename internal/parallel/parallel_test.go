@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", got)
+	}
+	t.Setenv(EnvWorkers, "3")
+	if got := Workers(0); got != 3 {
+		t.Fatalf("Workers(0) with %s=3 = %d, want 3", EnvWorkers, got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("explicit count must beat the env var, got %d", got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("bad env var must fall back to GOMAXPROCS, got %d", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative env var must fall back to GOMAXPROCS, got %d", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 203
+		counts := make([]int32, n)
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicOutputs(t *testing.T) {
+	const n = 500
+	run := func(workers int) []float64 {
+		out := make([]float64, n)
+		if err := ForEach(context.Background(), n, workers, func(i int) error {
+			out[i] = float64(i) * 1.5
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	failAt := map[int]bool{7: true, 3: true, 90: true}
+	for _, workers := range []int{1, 4, 8} {
+		err := ForEach(context.Background(), 100, workers, func(i int) error {
+			if failAt[i] {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error 'fail at 3'", workers, err)
+		}
+	}
+}
+
+func TestForEachErrorSkipsTail(t *testing.T) {
+	// After the failure at index 0, far-tail tasks must be skipped (the
+	// pool drains without running all n tasks).
+	var ran int32
+	err := ForEach(context.Background(), 1_000_000, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := atomic.LoadInt32(&ran); n > 100_000 {
+		t.Fatalf("ran %d tasks after early failure, expected the tail to be skipped", n)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 50, 4, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(i int) error {
+		t.Fatal("fn must not run")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got, err := Map(context.Background(), 64, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	want := errors.New("nope")
+	got, err := Map(context.Background(), 8, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, want
+		}
+		return i, nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	if got != nil {
+		t.Fatalf("partial results must be discarded, got %v", got)
+	}
+}

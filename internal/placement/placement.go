@@ -31,7 +31,9 @@ type Instance struct {
 	Service string
 }
 
-// TraceFn resolves an instance ID to its averaged I-trace.
+// TraceFn resolves an instance ID to its averaged I-trace. Like
+// powertree.PowerFn, implementations must be safe for concurrent calls:
+// LevelAsynchrony resolves traces from multiple workers.
 type TraceFn func(id string) (timeseries.Series, bool)
 
 // Placer attaches every instance to a leaf of the tree.
@@ -230,6 +232,10 @@ type WorkloadAware struct {
 	// balanced variant — an ablation of the equal-size-cluster requirement
 	// ("Each of these clusters have the same number of instances", §3.5).
 	PlainKMeans bool
+	// Workers bounds the goroutines used by the embedding and clustering
+	// stages; 0 means the default (SMOOTHOP_WORKERS or GOMAXPROCS). The
+	// placement is identical for any worker count.
+	Workers int
 }
 
 func (w WorkloadAware) topServices() int {
@@ -316,7 +322,7 @@ func (w WorkloadAware) embed(instances []Instance, traces map[string]timeseries.
 	for i, inst := range instances {
 		series[i] = traces[inst.ID]
 	}
-	return score.Vectors(series, basis)
+	return score.VectorsParallel(series, basis, w.Workers)
 }
 
 // embedIToI is the ablation embedding: pairwise asynchrony scores against a
@@ -409,7 +415,7 @@ func (w WorkloadAware) partition(node *powertree.Node, instances []Instance, tra
 	if w.PlainKMeans {
 		clusterFn = cluster.KMeans
 	}
-	res, err := clusterFn(points, cluster.Config{K: h, Seed: w.Seed, Restarts: 1})
+	res, err := clusterFn(points, cluster.Config{K: h, Seed: w.Seed, Restarts: 1, Workers: w.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("placement: clustering at %q: %w", node.Name, err)
 	}

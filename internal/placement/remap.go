@@ -1,11 +1,13 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/powertree"
 	"repro/internal/score"
 	"repro/internal/timeseries"
@@ -213,27 +215,44 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 
 // LevelAsynchrony returns the asynchrony score of every node at a level,
 // keyed by node name — the drift monitor of §3.6 watches these (together
-// with sum-of-peaks) to decide when remapping is worthwhile.
+// with sum-of-peaks) to decide when remapping is worthwhile. Nodes are
+// scored concurrently (traces must be safe for concurrent calls, like
+// PowerFn); the result is identical to a serial loop for any worker count.
 func LevelAsynchrony(tree *powertree.Node, level powertree.Level, traces TraceFn) (map[string]float64, error) {
-	out := make(map[string]float64)
-	for _, n := range tree.NodesAtLevel(level) {
+	nodes := tree.NodesAtLevel(level)
+	type nodeScore struct {
+		name string
+		s    float64
+		ok   bool
+	}
+	scores, err := parallel.Map(context.Background(), len(nodes), 0, func(i int) (nodeScore, error) {
+		n := nodes[i]
 		ids := n.AllInstances()
 		if len(ids) < 2 {
-			continue
+			return nodeScore{}, nil
 		}
 		trs := make([]timeseries.Series, len(ids))
-		for i, id := range ids {
+		for j, id := range ids {
 			tr, ok := traces(id)
 			if !ok {
-				return nil, fmt.Errorf("%w for instance %q", ErrMissingTrace, id)
+				return nodeScore{}, fmt.Errorf("%w for instance %q", ErrMissingTrace, id)
 			}
-			trs[i] = tr
+			trs[j] = tr
 		}
 		s, err := score.Asynchrony(trs...)
 		if err != nil {
-			return nil, fmt.Errorf("placement: scoring node %q: %w", n.Name, err)
+			return nodeScore{}, fmt.Errorf("placement: scoring node %q: %w", n.Name, err)
 		}
-		out[n.Name] = s
+		return nodeScore{name: n.Name, s: s, ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, ns := range scores {
+		if ns.ok {
+			out[ns.name] = ns.s
+		}
 	}
 	return out, nil
 }

@@ -12,12 +12,14 @@
 package powertree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/timeseries"
 )
 
@@ -315,7 +317,10 @@ func Build(spec TopologySpec) (*Node, error) {
 }
 
 // PowerFn resolves an instance ID to its power trace. Implementations are
-// typically backed by a trace store keyed by instance.
+// typically backed by a trace store keyed by instance. A PowerFn must be
+// safe for concurrent calls: SumOfPeaks and LevelPeaks fan per-node
+// aggregation out across workers. Read-only map lookups (workload.SubPowerFn)
+// and lock-guarded stores (tracestore) both qualify.
 type PowerFn func(instanceID string) (timeseries.Series, bool)
 
 // AggregatePower computes the node's aggregate power trace: the element-wise
@@ -370,14 +375,26 @@ func (n *Node) PeakPower(power PowerFn) (float64, error) {
 }
 
 // SumOfPeaks computes Σ over nodes at the given level of each node's peak
-// aggregate power — the paper's fragmentation indicator #1 (§2.2).
+// aggregate power — the paper's fragmentation indicator #1 (§2.2). Per-node
+// aggregation runs with the default worker count (see internal/parallel).
 func (n *Node) SumOfPeaks(level Level, power PowerFn) (float64, error) {
+	return n.SumOfPeaksParallel(level, power, 0)
+}
+
+// SumOfPeaksParallel is SumOfPeaks with an explicit worker count (≤ 0 means
+// the package default). Per-node peaks are computed concurrently but summed
+// serially in tree order, so the result is bit-identical to a serial run for
+// any worker count.
+func (n *Node) SumOfPeaksParallel(level Level, power PowerFn, workers int) (float64, error) {
+	nodes := n.NodesAtLevel(level)
+	peaks, err := parallel.Map(context.Background(), len(nodes), workers, func(i int) (float64, error) {
+		return nodes[i].PeakPower(power)
+	})
+	if err != nil {
+		return 0, err
+	}
 	var total float64
-	for _, m := range n.NodesAtLevel(level) {
-		p, err := m.PeakPower(power)
-		if err != nil {
-			return 0, err
-		}
+	for _, p := range peaks {
 		total += p
 	}
 	return total, nil
@@ -465,15 +482,19 @@ func (n *Node) CheckBreakers(power PowerFn, sustain time.Duration) ([]BreakerTri
 }
 
 // LevelPeaks returns the peak aggregate power of every node at a level,
-// keyed by node name.
+// keyed by node name. Per-node aggregation runs with the default worker
+// count; the result is identical to a serial run for any worker count.
 func (n *Node) LevelPeaks(level Level, power PowerFn) (map[string]float64, error) {
-	out := make(map[string]float64)
-	for _, m := range n.NodesAtLevel(level) {
-		p, err := m.PeakPower(power)
-		if err != nil {
-			return nil, err
-		}
-		out[m.Name] = p
+	nodes := n.NodesAtLevel(level)
+	peaks, err := parallel.Map(context.Background(), len(nodes), 0, func(i int) (float64, error) {
+		return nodes[i].PeakPower(power)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(nodes))
+	for i, m := range nodes {
+		out[m.Name] = peaks[i]
 	}
 	return out, nil
 }

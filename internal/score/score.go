@@ -7,9 +7,11 @@
 package score
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/timeseries"
 )
 
@@ -73,6 +75,15 @@ func Vector(instance timeseries.Series, straces []timeseries.Series) ([]float64,
 	if ip <= 0 {
 		return nil, ErrZeroPeak
 	}
+	// Validate the basis up front: NormalizeTo silently passes a trace with
+	// a non-positive peak through unchanged, so without this check a bad
+	// S-trace only surfaces deep inside Pairwise as an ErrZeroPeak that no
+	// longer says which basis element is broken.
+	for i, st := range straces {
+		if st.Peak() <= 0 {
+			return nil, fmt.Errorf("score: S-trace %d has non-positive peak: %w", i, ErrZeroPeak)
+		}
+	}
 	v := make([]float64, len(straces))
 	for i, st := range straces {
 		normalized := st.NormalizeTo(ip)
@@ -87,15 +98,28 @@ func Vector(instance timeseries.Series, straces []timeseries.Series) ([]float64,
 
 // Vectors computes the score vector of every instance in order. All
 // instances are scored against the same basis, yielding the embedding fed
-// to k-means in the placement step.
+// to k-means in the placement step. Scoring is O(instances × |B| ×
+// trace-length) and embarrassingly parallel across instances; Vectors runs
+// with the default worker count (see internal/parallel).
 func Vectors(instances []timeseries.Series, straces []timeseries.Series) ([][]float64, error) {
+	return VectorsParallel(instances, straces, 0)
+}
+
+// VectorsParallel is Vectors with an explicit worker count (≤ 0 means the
+// package default). Every vector is written at its instance index, so the
+// result is bit-identical to a serial run for any worker count.
+func VectorsParallel(instances []timeseries.Series, straces []timeseries.Series, workers int) ([][]float64, error) {
 	out := make([][]float64, len(instances))
-	for i, inst := range instances {
-		v, err := Vector(inst, straces)
+	err := parallel.ForEach(context.Background(), len(instances), workers, func(i int) error {
+		v, err := Vector(instances[i], straces)
 		if err != nil {
-			return nil, fmt.Errorf("score: instance %d: %w", i, err)
+			return fmt.Errorf("score: instance %d: %w", i, err)
 		}
 		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

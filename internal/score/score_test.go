@@ -1,8 +1,12 @@
 package score
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -144,6 +148,69 @@ func TestVectorErrors(t *testing.T) {
 	}
 	if _, err := Vector(mk(0, 0), []timeseries.Series{mk(1, 1)}); err == nil {
 		t.Fatal("zero-peak instance must error")
+	}
+}
+
+func TestVectorRejectsZeroPeakSTrace(t *testing.T) {
+	// A zero-peak S-trace used to slip through NormalizeTo unchanged and
+	// surface later as a bare ErrZeroPeak from Pairwise; now it is rejected
+	// up front with an error naming the offending basis index.
+	inst := mk(10, 0, 5)
+	basis := []timeseries.Series{mk(1, 2, 3), mk(0, 0, 0), mk(4, 5, 6)}
+	_, err := Vector(inst, basis)
+	if !errors.Is(err, ErrZeroPeak) {
+		t.Fatalf("err = %v, want ErrZeroPeak", err)
+	}
+	if !strings.Contains(err.Error(), "S-trace 1") {
+		t.Fatalf("error must name the offending S-trace index: %v", err)
+	}
+	// The same failure through Vectors additionally names the instance.
+	_, err = Vectors([]timeseries.Series{inst}, basis)
+	if !errors.Is(err, ErrZeroPeak) || !strings.Contains(err.Error(), "instance 0") {
+		t.Fatalf("Vectors err = %v, want wrapped ErrZeroPeak naming instance 0", err)
+	}
+}
+
+func TestVectorsParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	insts := make([]timeseries.Series, 37)
+	for i := range insts {
+		s := timeseries.Zeros(t0, time.Minute, 48)
+		for j := range s.Values {
+			s.Values[j] = rng.Float64()*100 + 1
+		}
+		insts[i] = s
+	}
+	basis := insts[:5]
+	want, err := VectorsParallel(insts, basis, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got, err := VectorsParallel(insts, basis, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel vectors differ from serial", workers)
+		}
+	}
+}
+
+func TestVectorsParallelLowestIndexError(t *testing.T) {
+	// Instances 3 and 9 both have zero peaks; every worker count must report
+	// instance 3, exactly like the serial loop.
+	insts := make([]timeseries.Series, 12)
+	for i := range insts {
+		insts[i] = mk(1, 2)
+	}
+	insts[3], insts[9] = mk(0, 0), mk(0, 0)
+	basis := []timeseries.Series{mk(1, 0)}
+	for _, workers := range []int{1, 4, 8} {
+		_, err := VectorsParallel(insts, basis, workers)
+		if err == nil || !strings.Contains(err.Error(), "instance 3") {
+			t.Fatalf("workers=%d: err = %v, want error naming instance 3", workers, err)
+		}
 	}
 }
 

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// RunMany executes several independent simulation runs concurrently and
+// returns their results in input order. Each Run is a sequential stateful
+// loop internally (the policy observes its own past decisions), so the
+// parallelism is across runs, not within one: core.Reshape uses this to run
+// its four strategy simulations side by side. workers ≤ 0 means the package
+// default (SMOOTHOP_WORKERS or GOMAXPROCS); results are identical to a
+// serial loop for any worker count, and on failure the error of the
+// lowest-index failing run is returned.
+func RunMany(cfgs []Config, workers int) ([]*Result, error) {
+	return parallel.Map(context.Background(), len(cfgs), workers, func(i int) (*Result, error) {
+		res, err := Run(cfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: run %d: %w", i, err)
+		}
+		return res, nil
+	})
+}
