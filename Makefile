@@ -2,20 +2,25 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-parallel experiments ablations extensions fuzz clean
+.PHONY: all check build vet lint test test-race race cover bench bench-parallel experiments ablations extensions fuzz fuzz-short clean
 
 all: check
 
-# check is the pre-merge gate: build, vet, the full test suite, and the same
-# suite again under the race detector (the parallel pipeline must be
-# data-race-free and bit-identical at any worker count).
-check: build vet test test-race
+# check is the pre-merge gate: build, vet, the project linters, the full test
+# suite, and the same suite again under the race detector (the parallel
+# pipeline must be data-race-free and bit-identical at any worker count).
+check: build vet lint test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs smoothoplint, the project's own static-analysis suite enforcing
+# the determinism and parallel-safety contracts (see DESIGN.md).
+lint:
+	$(GO) run ./cmd/smoothoplint ./...
 
 test:
 	$(GO) test ./...
@@ -46,6 +51,12 @@ extensions:
 fuzz:
 	$(GO) test -run=XXX -fuzz=FuzzReadCSV -fuzztime=10s ./internal/timeseries/
 	$(GO) test -run=XXX -fuzz=FuzzLoadTree -fuzztime=10s ./internal/powertree/
+
+# fuzz-short is a bounded smoke pass over every fuzz target, cheap enough
+# for CI and pre-commit runs.
+fuzz-short:
+	$(GO) test -run=XXX -fuzz=FuzzReadCSV -fuzztime=5s ./internal/timeseries/
+	$(GO) test -run=XXX -fuzz=FuzzLoadTree -fuzztime=5s ./internal/powertree/
 
 clean:
 	rm -rf internal/*/testdata/fuzz

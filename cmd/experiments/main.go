@@ -12,9 +12,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -33,26 +35,88 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = SMOOTHOP_WORKERS or GOMAXPROCS); results are identical for any count")
 		csvDir     = flag.String("csv-dir", "", "also dump every figure's data as CSV files into this directory")
+		dcFlag     = flag.String("dc", "", "comma-separated subset of datacenters to run (default: DC1,DC2,DC3)")
 	)
 	flag.Parse()
 
+	dcs, err := parseDCs(*dcFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	opt := experiments.Options{Scale: *scale, Step: *step, Seed: *seed, Workers: *workers}
-	if err := run(opt, *fig, *table, *all, *ablations, *extensions, *csvDir); err != nil {
+	if err := run(opt, dcs, *fig, *table, *all, *ablations, *extensions, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opt experiments.Options, fig, table int, all, ablations, extensions bool, csvDir string) error {
+// parseDCs turns the -dc flag into a validated datacenter subset. An empty
+// flag selects every datacenter.
+func parseDCs(s string) ([]workload.DCName, error) {
+	if s == "" {
+		return workload.AllDCs, nil
+	}
+	var dcs []workload.DCName
+	for _, field := range strings.Split(s, ",") {
+		name := workload.DCName(strings.TrimSpace(field))
+		if name == "" {
+			continue
+		}
+		if !containsDC(workload.AllDCs, name) {
+			return nil, fmt.Errorf("unknown datacenter %q (valid: DC1, DC2, DC3)", name)
+		}
+		dcs = append(dcs, name)
+	}
+	if len(dcs) == 0 {
+		return nil, errors.New("flag -dc lists no datacenters")
+	}
+	return dcs, nil
+}
+
+func containsDC(dcs []workload.DCName, name workload.DCName) bool {
+	for _, dc := range dcs {
+		if dc == name {
+			return true
+		}
+	}
+	return false
+}
+
+func joinDCs(dcs []workload.DCName) string {
+	names := make([]string, len(dcs))
+	for i, dc := range dcs {
+		names[i] = string(dc)
+	}
+	return strings.Join(names, ", ")
+}
+
+// findRun locates one datacenter's pipeline output by name.
+func findRun(runs []*experiments.DCRun, name workload.DCName) *experiments.DCRun {
+	for _, r := range runs {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+func run(opt experiments.Options, dcs []workload.DCName, fig, table int, all, ablations, extensions bool, csvDir string) error {
 	if !all && fig == 0 && table == 0 && !ablations && !extensions && csvDir == "" {
 		all = true
+	}
+	if len(dcs) == 0 {
+		dcs = workload.AllDCs
+	}
+	if (all || fig == 9) && !containsDC(dcs, workload.DC3) {
+		return errors.New("fig 9 requires DC3; rerun with -dc including DC3")
 	}
 	var runs []*experiments.DCRun
 	needRuns := all || (fig >= 9 && fig <= 14) || csvDir != ""
 	if needRuns {
 		var err error
-		fmt.Fprintln(os.Stderr, "running placement + reshaping pipeline for DC1–DC3...")
-		runs, err = experiments.RunAll(opt)
+		fmt.Fprintf(os.Stderr, "running placement + reshaping pipeline for %s...\n", joinDCs(dcs))
+		runs, err = experiments.RunSome(dcs, opt)
 		if err != nil {
 			return err
 		}
@@ -82,7 +146,11 @@ func run(opt experiments.Options, fig, table int, all, ablations, extensions boo
 		fmt.Println(experiments.FormatFig8(points))
 	}
 	if show(9) {
-		r, err := experiments.Fig9(runs[2]) // DC3: clearest fragmentation
+		dc3 := findRun(runs, workload.DC3) // DC3: clearest fragmentation
+		if dc3 == nil {
+			return errors.New("fig 9 requires DC3 but its pipeline run is missing")
+		}
+		r, err := experiments.Fig9(dc3)
 		if err != nil {
 			return err
 		}

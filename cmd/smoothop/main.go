@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/detmap"
 	"repro/internal/metrics"
 	"repro/internal/placement"
 	"repro/internal/powertree"
@@ -163,20 +164,21 @@ func meanOf(m map[string]float64) float64 {
 		return 0
 	}
 	var s float64
-	for _, v := range m {
-		s += v
+	for _, k := range detmap.SortedKeys(m) {
+		s += m[k]
 	}
 	return s / float64(len(m))
 }
 
 func minOf(m map[string]float64) float64 {
-	vals := make([]float64, 0, len(m))
-	for _, v := range m {
-		vals = append(vals, v)
-	}
-	sort.Float64s(vals)
-	if len(vals) == 0 {
+	keys := detmap.SortedKeys(m)
+	if len(keys) == 0 {
 		return 0
 	}
+	vals := make([]float64, len(keys))
+	for i, k := range keys {
+		vals[i] = m[k]
+	}
+	sort.Float64s(vals)
 	return vals[0]
 }

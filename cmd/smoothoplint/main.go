@@ -1,0 +1,62 @@
+// Command smoothoplint runs the project's static-analysis suite over Go
+// packages and exits non-zero if any contract is violated.
+//
+// Usage:
+//
+//	smoothoplint [flags] [packages]
+//
+//	smoothoplint ./...                      # whole module (the make lint gate)
+//	smoothoplint -analyzers maprange ./...  # one analyzer
+//	smoothoplint -list                      # describe the suite
+//
+// The suite enforces the determinism and parallel-safety contracts of the
+// pipeline packages; see internal/analysis and DESIGN.md ("Static analysis
+// & determinism contract"). Diagnostics print as file:line:col and can be
+// suppressed with a //lint:allow <analyzer> comment on the same line or the
+// line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "describe the analyzers and exit")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		dir       = flag.String("dir", ".", "directory to resolve package patterns from")
+	)
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	suite, err := analysis.ByName(*analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smoothoplint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smoothoplint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Analyze(pkgs, suite)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "smoothoplint: %d violation(s) in %d package(s) analyzed\n", n, len(pkgs))
+		os.Exit(1)
+	}
+}

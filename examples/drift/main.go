@@ -13,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/detmap"
 	"repro/internal/placement"
 	"repro/internal/powertree"
 	"repro/internal/timeseries"
@@ -63,8 +64,8 @@ func main() {
 		log.Fatal(err)
 	}
 	worst := 1e18
-	for _, s := range scores {
-		if s < worst {
+	for _, node := range detmap.SortedKeys(scores) {
+		if s := scores[node]; s < worst {
 			worst = s
 		}
 	}

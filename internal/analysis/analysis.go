@@ -1,0 +1,259 @@
+// Package analysis is smoothoplint: a project-specific static-analysis
+// suite that enforces the determinism and parallel-safety contracts the
+// pipeline packages rely on (see DESIGN.md, "Static analysis & determinism
+// contract").
+//
+// The paper's evaluation depends on exactly reproducible asynchrony scores
+// and k-means outcomes, and PR 1's parallel pipeline promises bit-identical
+// results at any worker count. Those contracts are easy to break silently —
+// one new time.Now, one global-rand draw, one unsorted map reduction, one
+// stray write from inside a parallel closure — and the equivalence tests
+// only catch the paths they happen to cover. The analyzers here make the
+// contracts compile-time-checkable for every path:
+//
+//   - nondeterminism: forbids wall-clock and global/ambient entropy in
+//     pipeline packages; randomness must come from a seeded *rand.Rand.
+//   - maprange: flags order-sensitive work (appends, accumulation,
+//     selection, output) performed while ranging over a map.
+//   - parallelwrite: inside closures passed to internal/parallel entry
+//     points, flags writes to captured variables that are not indexed by
+//     the closure's index parameter.
+//   - errfmt: requires %w when wrapping an error and enforces the house
+//     error-string style (lowercase start, no trailing punctuation).
+//
+// A diagnostic can be suppressed with a trailing or preceding comment of
+// the form
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// Test files are never analyzed: the loader only type-checks non-test
+// sources, so tests may use wall clock, global rand and ad-hoc formatting
+// freely.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col reporting.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named rule set run over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the rule and its rationale.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass couples one analyzer with one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	exempt exemptions
+	diags  []Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an exemption comment covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.exempt.allows(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer,
+		MaprangeAnalyzer,
+		ParallelwriteAnalyzer,
+		ErrfmtAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection ("" selects all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a := byName[name]
+		if a == nil {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// pipelinePackages are the package names whose results must be bit-identical
+// across runs and worker counts (the paper's figures flow through them).
+// The nondeterminism analyzer only applies inside these.
+var pipelinePackages = map[string]bool{
+	"score":       true,
+	"cluster":     true,
+	"placement":   true,
+	"powertree":   true,
+	"reshape":     true,
+	"sim":         true,
+	"core":        true,
+	"experiments": true,
+	"workload":    true,
+}
+
+// IsPipelinePackage reports whether an import path addresses one of the
+// deterministic pipeline packages (matched by path segment, so both
+// repro/internal/score and repro/cmd/experiments qualify).
+func IsPipelinePackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if pipelinePackages[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs every analyzer over every package and returns the merged
+// diagnostics sorted by position. Packages are analyzed concurrently via the
+// repository's own parallel substrate; each (package, analyzer) pass writes
+// only its own slice, so the result is identical at any worker count.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	analyzePackages(pkgs, func(i int) {
+		pkg := pkgs[i]
+		ex := collectExemptions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				exempt:   ex,
+			}
+			a.Run(pass)
+			perPkg[i] = append(perPkg[i], pass.diags...)
+		}
+	})
+	var out []Diagnostic
+	for _, diags := range perPkg {
+		out = append(out, diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ---------------------------------------------------------------- helpers
+
+// objectOf resolves the object an identifier uses or defines.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// funcFor returns the package-level function or method a call invokes, or
+// nil when the callee is not a named function (func values, builtins, ...).
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation: parallel.Map[T](...)
+		return funcFor(info, &ast.CallExpr{Fun: fun.X})
+	default:
+		return nil
+	}
+	fn, _ := objectOf(info, id).(*types.Func)
+	return fn
+}
+
+// baseIdent unwraps selector/index/star/paren chains to the root identifier
+// of an lvalue or receiver expression (nil if the root is not an identifier).
+func baseIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsObject reports whether expr references obj anywhere in its subtree.
+func mentionsObject(info *types.Info, expr ast.Node, obj types.Object) bool {
+	if expr == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objectOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredWithin reports whether obj's declaration lies inside [lo, hi].
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos() != token.NoPos && obj.Pos() >= lo && obj.Pos() <= hi
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ErrfmtAnalyzer enforces the house error style: wrap an underlying error
+// with %w (so errors.Is/As keep working through the pipeline's layered
+// wrapping), start messages with a lowercase word unless it is an
+// identifier-like token (DC1, S-trace, ...), and never end them with
+// punctuation or whitespace — they are routinely embedded in longer chains
+// ("experiments: DC2 placement: ...").
+var ErrfmtAnalyzer = &Analyzer{
+	Name: "errfmt",
+	Doc: "require %w when wrapping an error with fmt.Errorf and enforce lowercase, " +
+		"punctuation-free error strings in errors.New/fmt.Errorf",
+	Run: runErrfmt,
+}
+
+func runErrfmt(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				checkErrorf(p, call)
+			case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+				if len(call.Args) == 1 {
+					if msg, lit, ok := stringLiteral(p, call.Args[0]); ok {
+						checkErrorString(p, lit, msg)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkErrorf(p *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, lit, ok := stringLiteral(p, call.Args[0])
+	if !ok {
+		return
+	}
+	checkErrorString(p, lit, format)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorTyped(p.Info, arg) {
+			p.Reportf(lit.Pos(), "fmt.Errorf formats an error argument without %%w; wrap it so errors.Is/As see the cause")
+			return
+		}
+	}
+}
+
+// stringLiteral unwraps a constant string expression to its value and the
+// literal node used for positioning.
+func stringLiteral(p *Pass, expr ast.Expr) (string, *ast.BasicLit, bool) {
+	lit, ok := ast.Unparen(expr).(*ast.BasicLit)
+	if !ok {
+		return "", nil, false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", nil, false
+	}
+	return s, lit, true
+}
+
+func checkErrorString(p *Pass, lit *ast.BasicLit, msg string) {
+	if msg == "" {
+		return
+	}
+	if last, _ := utf8.DecodeLastRuneInString(msg); strings.ContainsRune(".!?:\n\t ", last) && !strings.HasSuffix(msg, "...") {
+		p.Reportf(lit.Pos(), "error string ends with %q; drop trailing punctuation/whitespace (messages get embedded in chains)", last)
+	}
+	first, _ := utf8.DecodeRuneInString(msg)
+	if unicode.IsUpper(first) && !identifierLike(firstWord(msg)) {
+		p.Reportf(lit.Pos(), "error string starts with an uppercase word %q; use lowercase (house style)", firstWord(msg))
+	}
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorTyped reports whether an argument's static type implements error.
+func isErrorTyped(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	return t != nil && types.Implements(t, errorInterface)
+}
+
+func firstWord(msg string) string {
+	if i := strings.IndexAny(msg, " :,;("); i >= 0 {
+		return msg[:i]
+	}
+	return msg
+}
+
+// identifierLike reports whether a leading word is a proper token rather
+// than a capitalized sentence start: acronyms and names like DC1, UPS,
+// S-trace, StatProf contain a second uppercase letter, digit or hyphen.
+func identifierLike(word string) bool {
+	if utf8.RuneCountInString(word) < 2 {
+		return true // single letters ("S", "I") read as tokens
+	}
+	for i, r := range word {
+		if i == 0 {
+			continue
+		}
+		if unicode.IsUpper(r) || unicode.IsDigit(r) || r == '-' || r == '_' || r == '%' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestErrfmtFires(t *testing.T) {
+	src := `package demo
+
+import (
+	"errors"
+	"fmt"
+)
+
+func wrap(err error) error {
+	return fmt.Errorf("loading checkpoint failed: %v", err)
+}
+
+var errCap = errors.New("Something went wrong")
+
+var errPunct = errors.New("bad input.")
+
+func capf(n int) error {
+	return fmt.Errorf("Bad value %d", n)
+}
+`
+	diags := checkFixture(t, analysis.ErrfmtAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.ErrfmtAnalyzer, 9, 12, 14, 17)
+}
+
+func TestErrfmtConformingIsClean(t *testing.T) {
+	src := `package demo
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("demo: base failure")
+
+func wrap(err error) error {
+	return fmt.Errorf("demo: loading checkpoint: %w", err)
+}
+
+func named(n int) error {
+	// Identifier-like leading tokens are not sentence capitals.
+	return fmt.Errorf("DC3 run %d incomplete", n)
+}
+
+func strace() error {
+	return errors.New("S-trace basis is empty")
+}
+
+func plain(n int) error {
+	return fmt.Errorf("bad value %d", n)
+}
+`
+	wantClean(t, checkFixture(t, analysis.ErrfmtAnalyzer, "repro/internal/demo", src))
+}
+
+func TestErrfmtNonErrorArgsNeedNoWrap(t *testing.T) {
+	src := `package demo
+
+import "fmt"
+
+func f(name string, n int) error {
+	return fmt.Errorf("demo: %s failed %d times", name, n)
+}
+`
+	wantClean(t, checkFixture(t, analysis.ErrfmtAnalyzer, "repro/internal/demo", src))
+}

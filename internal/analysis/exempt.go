@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// exemptions records, per file and line, which analyzers a //lint:allow
+// comment suppresses. An allow comment covers its own line and the line
+// directly below it, so both forms work:
+//
+//	now := time.Now() //lint:allow nondeterminism wall clock is the API
+//
+//	//lint:allow maprange keys are sorted two lines up
+//	for k, v := range m { ... }
+type exemptions struct {
+	// byLine maps file name → line → analyzer names allowed there
+	// ("*" allows every analyzer).
+	byLine map[string]map[int][]string
+}
+
+const allowPrefix = "lint:allow"
+
+// collectExemptions scans every comment in the files for allow directives.
+func collectExemptions(fset *token.FileSet, files []*ast.File) exemptions {
+	ex := exemptions{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				names := parseAllowList(rest)
+				pos := fset.Position(c.Pos())
+				lines := ex.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					ex.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return ex
+}
+
+// parseAllowList extracts the analyzer names from the directive payload:
+// the first whitespace-delimited field, split on commas. An empty payload
+// allows everything.
+func parseAllowList(rest string) []string {
+	if rest == "" {
+		return []string{"*"}
+	}
+	fields := strings.Fields(rest)
+	var names []string
+	for _, name := range strings.Split(fields[0], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return []string{"*"}
+	}
+	return names
+}
+
+// allows reports whether a diagnostic from the named analyzer at pos is
+// covered by an allow comment on the same line or the line above.
+func (ex exemptions) allows(analyzer string, pos token.Position) bool {
+	lines := ex.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "*" || name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

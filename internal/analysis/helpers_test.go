@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// checkFixture type-checks one in-memory fixture package and runs a single
+// analyzer over it.
+func checkFixture(t *testing.T, a *analysis.Analyzer, pkgPath, src string, deps ...*analysis.Package) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.LoadSource(pkgPath, map[string]string{"fixture.go": src}, deps...)
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	return analysis.Analyze([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+}
+
+// wantDiags asserts that the diagnostics hit exactly the given lines (in
+// order) and that every message contains the analyzer's name tag.
+func wantDiags(t *testing.T, diags []analysis.Diagnostic, a *analysis.Analyzer, lines ...int) {
+	t.Helper()
+	var got []int
+	for _, d := range diags {
+		if d.Analyzer != a.Name {
+			t.Errorf("diagnostic %v attributed to %q, want %q", d, d.Analyzer, a.Name)
+		}
+		got = append(got, d.Pos.Line)
+	}
+	if len(got) != len(lines) {
+		t.Fatalf("got %d diagnostics %v, want lines %v", len(got), diags, lines)
+	}
+	for i, line := range lines {
+		if got[i] != line {
+			t.Errorf("diagnostic %d at line %d, want %d (%v)", i, got[i], line, diags[i])
+		}
+	}
+}
+
+// wantClean asserts no diagnostics.
+func wantClean(t *testing.T, diags []analysis.Diagnostic) {
+	t.Helper()
+	if len(diags) != 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("\n  " + d.String())
+		}
+		t.Fatalf("expected a clean run, got %d diagnostics:%s", len(diags), b.String())
+	}
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaprangeAnalyzer flags order-sensitive work performed while ranging over
+// a map: Go randomizes map iteration order, so any append, accumulation,
+// selection or output that happens inside the loop can differ from run to
+// run. The conforming pattern is to collect the keys, sort them, and range
+// over the sorted slice — the analyzer recognizes the key-collection idiom
+// (`keys = append(keys, k)`) and writes partitioned by the key
+// (`out[k] = f(v)`) as safe.
+var MaprangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc: "flag appends, accumulation, selection and output inside `range` over a map; " +
+		"iterate sorted keys instead so reductions and serialized output are deterministic",
+	Run: runMaprange,
+}
+
+func runMaprange(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(p.Info, rs) {
+				return true
+			}
+			checkMapRangeBody(p, rs)
+			return true
+		})
+	}
+}
+
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody inspects one map-range body. Nested map ranges are
+// skipped here — the outer Inspect visits and judges them on their own.
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt) {
+	keyObj := rangeVarObject(p.Info, rs.Key)
+	valObj := rangeVarObject(p.Info, rs.Value)
+	loopVars := func(n ast.Node) bool {
+		return mentionsObject(p.Info, n, keyObj) || mentionsObject(p.Info, n, valObj)
+	}
+	// partitioned reports whether an lvalue chain contains an index that
+	// mentions a loop variable: out[k] = ... touches a different element
+	// each iteration, so order cannot matter.
+	partitioned := func(expr ast.Expr) bool {
+		for {
+			switch e := expr.(type) {
+			case *ast.IndexExpr:
+				if loopVars(e.Index) {
+					return true
+				}
+				expr = e.X
+			case *ast.SelectorExpr:
+				expr = e.X
+			case *ast.StarExpr:
+				expr = e.X
+			case *ast.ParenExpr:
+				expr = e.X
+			default:
+				return false
+			}
+		}
+	}
+	outer := func(expr ast.Expr) *ast.Ident {
+		id := baseIdent(expr)
+		if id == nil {
+			return nil
+		}
+		obj := objectOf(p.Info, id)
+		if obj == nil || declaredWithin(obj, rs.Pos(), rs.End()) {
+			return nil
+		}
+		return id
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.RangeStmt:
+			if rangesOverMap(p.Info, stmt) {
+				return false // judged independently by the outer walk
+			}
+		case *ast.ReturnStmt:
+			for _, res := range stmt.Results {
+				if loopVars(res) {
+					p.Reportf(stmt.Pos(), "returning a loop variable selects an arbitrary map element; pick deterministically (e.g. smallest key)")
+					break
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, stmt, loopVars, partitioned, outer)
+		case *ast.CallExpr:
+			checkMapRangeCall(p, stmt, keyObj, outer)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, stmt *ast.AssignStmt, loopVars func(ast.Node) bool, partitioned func(ast.Expr) bool, outer func(ast.Expr) *ast.Ident) {
+	switch stmt.Tok {
+	case token.DEFINE:
+		return // new variable local to the loop body
+	case token.ASSIGN:
+		// x = append(x, ...) is judged by the append rule alone, which
+		// knows the safe key-collection idiom.
+		if len(stmt.Rhs) == 1 {
+			if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+					return
+				}
+			}
+		}
+		// Plain assignment to an outer variable from loop state is a
+		// selection: which iteration wins depends on iteration order.
+		rhsUsesLoop := false
+		for _, rhs := range stmt.Rhs {
+			if loopVars(rhs) {
+				rhsUsesLoop = true
+				break
+			}
+		}
+		if !rhsUsesLoop {
+			return
+		}
+		for _, lhs := range stmt.Lhs {
+			if partitioned(lhs) {
+				continue
+			}
+			if id := outer(lhs); id != nil {
+				p.Reportf(stmt.Pos(), "assignment to %s inside map iteration depends on iteration order; iterate sorted keys or add a deterministic tie-break", id.Name)
+				return
+			}
+		}
+	default:
+		// Compound assignment (+=, -=, *=, /=, ...) accumulates in
+		// iteration order; float and string accumulation are
+		// order-sensitive, and the sorted-keys fix is trivial either way.
+		for _, lhs := range stmt.Lhs {
+			if partitioned(lhs) {
+				continue
+			}
+			if id := outer(lhs); id != nil && accumulatorType(p.Info.TypeOf(lhs)) {
+				p.Reportf(stmt.Pos(), "accumulation into %s inside map iteration is order-sensitive; iterate sorted keys", id.Name)
+				return
+			}
+		}
+	}
+}
+
+func checkMapRangeCall(p *Pass, call *ast.CallExpr, keyObj types.Object, outer func(ast.Expr) *ast.Ident) {
+	// append to an outer slice: allowed only for the key-collection idiom
+	// (every appended value is exactly the key variable, which the caller
+	// is expected to sort before use).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && p.Info.Uses[id] == types.Universe.Lookup("append") {
+		if len(call.Args) == 0 || outer(call.Args[0]) == nil {
+			return
+		}
+		for _, arg := range call.Args[1:] {
+			argID, ok := ast.Unparen(arg).(*ast.Ident)
+			if ok && keyObj != nil && objectOf(p.Info, argID) == keyObj {
+				continue
+			}
+			p.Reportf(call.Pos(), "append during map iteration is order-dependent; collect and sort keys, then iterate the sorted slice")
+			return
+		}
+		return
+	}
+	// Output written during iteration serializes in iteration order.
+	if fn := funcFor(p.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			p.Reportf(call.Pos(), "fmt.%s inside map iteration emits output in random order; iterate sorted keys", fn.Name())
+		}
+		return
+	}
+	// Writer methods (WriteString, Write, ...) on an outer receiver.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			if fn, ok := objectOf(p.Info, sel.Sel).(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil && outer(sel.X) != nil {
+				p.Reportf(call.Pos(), "%s.%s inside map iteration emits output in random order; iterate sorted keys", baseIdent(sel.X).Name, sel.Sel.Name)
+			}
+		}
+	}
+}
+
+// accumulatorType reports whether t is a type whose accumulation across
+// iterations is worth flagging (numbers and strings; booleans and such are
+// idempotent).
+func accumulatorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsNumeric|types.IsString) != 0
+}
+
+func rangeVarObject(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return objectOf(info, id)
+}

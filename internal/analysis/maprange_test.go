@@ -1,0 +1,118 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestMaprangeFires(t *testing.T) {
+	src := `package demo
+
+import "fmt"
+
+func hazards(m map[string]float64, vals map[string]int) (float64, []float64, string) {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	best := ""
+	for k := range vals {
+		best = k
+	}
+	for k, v := range m {
+		fmt.Printf("%s=%v\n", k, v)
+	}
+	return sum, out, best
+}
+
+func arbitrary(m map[string]int) int {
+	for _, v := range m {
+		return v
+	}
+	return 0
+}
+`
+	diags := checkFixture(t, analysis.MaprangeAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.MaprangeAnalyzer, 8, 12, 16, 19, 26)
+}
+
+func TestMaprangeWriterOutputFires(t *testing.T) {
+	src := `package demo
+
+import "strings"
+
+func dump(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+`
+	diags := checkFixture(t, analysis.MaprangeAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.MaprangeAnalyzer, 8)
+}
+
+func TestMaprangeSortedIdiomIsClean(t *testing.T) {
+	src := `package demo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func conforming(m map[string]float64) (float64, string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	var b strings.Builder
+	for _, k := range keys {
+		sum += m[k]
+		fmt.Fprintf(&b, "%s=%v\n", k, m[k])
+	}
+	return sum, b.String()
+}
+
+func partitioned(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+func counting(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+`
+	wantClean(t, checkFixture(t, analysis.MaprangeAnalyzer, "repro/internal/demo", src))
+}
+
+func TestMaprangeAllowComment(t *testing.T) {
+	src := `package demo
+
+func minValue(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v < best {
+			best = v //lint:allow maprange min over values is order-independent
+		}
+	}
+	return best
+}
+`
+	wantClean(t, checkFixture(t, analysis.MaprangeAnalyzer, "repro/internal/demo", src))
+}

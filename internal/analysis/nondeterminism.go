@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondeterminismAnalyzer forbids ambient entropy — wall clock readings and
+// the global math/rand stream — in pipeline packages. Every randomized
+// stage must draw from a seeded *rand.Rand derived from (seed, index) so a
+// run is reproducible bit-for-bit, and every timestamp must be threaded in
+// explicitly. Constructors (rand.New, rand.NewSource, ...) and methods on
+// an explicit *rand.Rand are allowed; test files are never analyzed.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid time.Now/time.Since and global math/rand entropy in pipeline packages; " +
+		"thread explicit timestamps and seeded *rand.Rand values through instead",
+	Run: runNondeterminism,
+}
+
+// wallClockFuncs are the time-package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// seededRandCtors are math/rand functions that construct isolated sources
+// rather than drawing from the global stream.
+var seededRandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runNondeterminism(p *Pass) {
+	if !IsPipelinePackage(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil && wallClockFuncs[fn.Name()] {
+					p.Reportf(id.Pos(), "time.%s reads the wall clock; pipeline packages must take timestamps as inputs", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods on an explicit *rand.Rand are fine
+				}
+				if !seededRandCtors[fn.Name()] {
+					p.Reportf(id.Pos(), "rand.%s draws from the global stream; derive a seeded *rand.Rand from (seed, index) instead", fn.Name())
+				}
+			case "crypto/rand":
+				p.Reportf(id.Pos(), "crypto/rand is irreproducible entropy; pipeline packages must use seeded *rand.Rand sources")
+			}
+			return true
+		})
+	}
+}

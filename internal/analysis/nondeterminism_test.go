@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestNondeterminismFires(t *testing.T) {
+	src := `package score
+
+import (
+	"math/rand"
+	"time"
+)
+
+func entropy() (int, time.Time, time.Duration) {
+	n := rand.Intn(10)
+	now := time.Now()
+	d := time.Since(now)
+	return n, now, d
+}
+`
+	diags := checkFixture(t, analysis.NondeterminismAnalyzer, "repro/internal/score", src)
+	wantDiags(t, diags, analysis.NondeterminismAnalyzer, 9, 10, 11)
+}
+
+func TestNondeterminismSeededRandIsClean(t *testing.T) {
+	src := `package cluster
+
+import "math/rand"
+
+func draw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+`
+	wantClean(t, checkFixture(t, analysis.NondeterminismAnalyzer, "repro/internal/cluster", src))
+}
+
+func TestNondeterminismIgnoresNonPipelinePackages(t *testing.T) {
+	src := `package tracestore
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+`
+	// tracestore ingests live telemetry; it is not one of the deterministic
+	// pipeline packages, so wall clock use is allowed there.
+	wantClean(t, checkFixture(t, analysis.NondeterminismAnalyzer, "repro/internal/tracestore", src))
+}
+
+func TestNondeterminismFlagsFunctionValues(t *testing.T) {
+	src := `package core
+
+import "time"
+
+var clock func() time.Time = time.Now
+`
+	diags := checkFixture(t, analysis.NondeterminismAnalyzer, "repro/internal/core", src)
+	wantDiags(t, diags, analysis.NondeterminismAnalyzer, 5)
+}
+
+func TestNondeterminismAllowComment(t *testing.T) {
+	src := `package core
+
+import "time"
+
+var clock func() time.Time = time.Now //lint:allow nondeterminism serving boundary
+
+var clock2 func() time.Time = time.Now //lint:allow maprange wrong analyzer, still fires
+`
+	diags := checkFixture(t, analysis.NondeterminismAnalyzer, "repro/internal/core", src)
+	wantDiags(t, diags, analysis.NondeterminismAnalyzer, 7)
+}

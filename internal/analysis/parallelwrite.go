@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ParallelwriteAnalyzer enforces the writes-by-index discipline inside
+// closures handed to the internal/parallel entry points (ForEach, Map):
+// a task body may write freely to its own locals, and to captured state
+// only through an index expression that involves the closure's index
+// parameter (out[i] = ...). Any other write to a captured variable is a
+// data race and an ordering hazard — exactly what the bit-identical
+// parallel contract from PR 1 forbids.
+var ParallelwriteAnalyzer = &Analyzer{
+	Name: "parallelwrite",
+	Doc: "inside closures passed to internal/parallel, forbid writes to captured variables " +
+		"that are not partitioned by the closure's index parameter",
+	Run: runParallelwrite,
+}
+
+// parallelPkgSuffix identifies the worker-pool package by import-path
+// suffix so fixtures and forks behave like the real module.
+const parallelPkgSuffix = "internal/parallel"
+
+func runParallelwrite(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), parallelPkgSuffix) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkTaskClosure(p, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkTaskClosure validates one task function literal.
+func checkTaskClosure(p *Pass, lit *ast.FuncLit) {
+	idx := indexParam(p.Info, lit)
+	if idx == nil {
+		return // not an index-addressed task signature
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if stmt.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range stmt.Lhs {
+				checkClosureWrite(p, lit, idx, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkClosureWrite(p, lit, idx, stmt.X)
+		}
+		return true
+	})
+}
+
+// indexParam returns the object of the closure's index parameter — the
+// first parameter when it is a lone int — or nil.
+func indexParam(info *types.Info, lit *ast.FuncLit) types.Object {
+	params := lit.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	names := params.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	obj := info.Defs[names[0]]
+	if obj == nil {
+		return nil
+	}
+	if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return obj
+}
+
+// checkClosureWrite reports a write through lhs when its root variable is
+// captured from outside the closure and no index in the chain mentions the
+// index parameter.
+func checkClosureWrite(p *Pass, lit *ast.FuncLit, idx types.Object, lhs ast.Expr) {
+	id := baseIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := objectOf(p.Info, id)
+	if obj == nil || declaredWithin(obj, lit.Pos(), lit.End()) {
+		return // the closure's own local (or parameter)
+	}
+	if indexedByParam(p.Info, lhs, idx) {
+		return // out[i] = ... — partitioned by task index
+	}
+	p.Reportf(lhs.Pos(), "write to captured variable %s is not indexed by the closure's index parameter %s; results must be written as %s[%s] = ...", id.Name, idx.Name(), id.Name, idx.Name())
+}
+
+// indexedByParam reports whether any index expression in the lvalue chain
+// mentions the index parameter.
+func indexedByParam(info *types.Info, expr ast.Expr, idx types.Object) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			if mentionsObject(info, e.Index, idx) {
+				return true
+			}
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}

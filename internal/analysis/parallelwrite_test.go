@@ -1,0 +1,145 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// parallelStub mimics the internal/parallel API; the analyzer matches the
+// entry points by import-path suffix, so fixtures work against any module.
+const parallelStub = `package parallel
+
+import "context"
+
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+`
+
+func parallelDep(t *testing.T) *analysis.Package {
+	t.Helper()
+	pkg, err := analysis.LoadSource("example.com/fake/internal/parallel", map[string]string{"parallel.go": parallelStub})
+	if err != nil {
+		t.Fatalf("LoadSource(parallel stub): %v", err)
+	}
+	return pkg
+}
+
+func TestParallelwriteFires(t *testing.T) {
+	src := `package demo
+
+import (
+	"context"
+
+	"example.com/fake/internal/parallel"
+)
+
+func bad(xs []float64) (float64, []float64, error) {
+	var sum float64
+	first := make([]float64, 1)
+	var appended []float64
+	err := parallel.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		sum += xs[i]
+		first[0] = xs[i]
+		appended = append(appended, xs[i])
+		return nil
+	})
+	return sum, appended, err
+}
+`
+	diags := checkFixture(t, analysis.ParallelwriteAnalyzer, "repro/internal/demo", src, parallelDep(t))
+	wantDiags(t, diags, analysis.ParallelwriteAnalyzer, 14, 15, 16)
+}
+
+func TestParallelwriteIndexedWritesAreClean(t *testing.T) {
+	src := `package demo
+
+import (
+	"context"
+
+	"example.com/fake/internal/parallel"
+)
+
+func good(xs []float64) ([]float64, error) {
+	out := make([]float64, len(xs))
+	halves := make([]float64, (len(xs)+1)/2)
+	err := parallel.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		local := xs[i] * 2
+		out[i] = local
+		if i%2 == 0 {
+			halves[i/2] = local
+		}
+		return nil
+	})
+	return out, err
+}
+
+func viaMap(xs []float64) ([]float64, error) {
+	return parallel.Map(context.Background(), len(xs), 0, func(i int) (float64, error) {
+		v := xs[i] * 3
+		return v, nil
+	})
+}
+`
+	wantClean(t, checkFixture(t, analysis.ParallelwriteAnalyzer, "repro/internal/demo", src, parallelDep(t)))
+}
+
+func TestParallelwriteIgnoresOtherClosures(t *testing.T) {
+	src := `package demo
+
+func local(xs []float64) float64 {
+	var sum float64
+	add := func(i int) {
+		sum += xs[i] // fine: not a parallel task closure
+	}
+	for i := range xs {
+		add(i)
+	}
+	return sum
+}
+`
+	wantClean(t, checkFixture(t, analysis.ParallelwriteAnalyzer, "repro/internal/demo", src, parallelDep(t)))
+}
+
+func TestParallelwriteAllowComment(t *testing.T) {
+	src := `package demo
+
+import (
+	"context"
+	"sync"
+
+	"example.com/fake/internal/parallel"
+)
+
+func guarded(xs []float64) (float64, error) {
+	var mu sync.Mutex
+	var sum float64
+	err := parallel.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		mu.Lock()
+		sum += xs[i] //lint:allow parallelwrite mutex-guarded, order-insensitive accumulation
+		mu.Unlock()
+		return nil
+	})
+	return sum, err
+}
+`
+	wantClean(t, checkFixture(t, analysis.ParallelwriteAnalyzer, "repro/internal/demo", src, parallelDep(t)))
+}

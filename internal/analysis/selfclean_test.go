@@ -1,0 +1,76 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean is the acceptance gate: the full analyzer suite must pass
+// over the repository's own source. It loads every package the same way
+// cmd/smoothoplint does.
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := analysis.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	diags := analysis.Analyze(pkgs, analysis.All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := analysis.ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 4", len(all), err)
+	}
+	sub, err := analysis.ByName("maprange,errfmt")
+	if err != nil || len(sub) != 2 {
+		t.Fatalf("ByName subset = %v, err %v", sub, err)
+	}
+	if _, err := analysis.ByName("nope"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+func TestIsPipelinePackage(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/score":     true,
+		"repro/internal/cluster":   true,
+		"repro/cmd/experiments":    true,
+		"repro/internal/analysis":  false,
+		"repro/internal/detmap":    false,
+		"repro/internal/parallel":  false,
+		"example.com/other/sim":    true,
+		"repro/internal/timeserie": false,
+	} {
+		if got := analysis.IsPipelinePackage(path); got != want {
+			t.Errorf("IsPipelinePackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

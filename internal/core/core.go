@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/detmap"
 	"repro/internal/forecast"
 	"repro/internal/metrics"
 	"repro/internal/placement"
@@ -411,10 +412,10 @@ func dominantLCService(fleet *workload.Fleet) string {
 }
 
 func anyTrace(m map[string]timeseries.Series) timeseries.Series {
-	for _, s := range m {
-		return s
-	}
-	return timeseries.Series{}
+	// Every caller only needs shape (step, length), but pick the smallest
+	// key anyway so the choice is reproducible.
+	_, s, _ := detmap.First(m)
+	return s
 }
 
 // DriftReport is what the continuous monitor (§3.6) observes.
@@ -441,8 +442,8 @@ func (f *Framework) Adapt(tree *powertree.Node, fresh map[string]timeseries.Seri
 		return nil, err
 	}
 	rep := &DriftReport{WorstScore: math.Inf(1)}
-	for node, s := range scores {
-		if s < rep.WorstScore {
+	for _, node := range detmap.SortedKeys(scores) {
+		if s := scores[node]; s < rep.WorstScore {
 			rep.WorstScore, rep.WorstNode = s, node
 		}
 	}

@@ -16,7 +16,17 @@ import (
 //	GET /healthz  — liveness
 //
 // The handler is read-only; ingestion and ticking stay with the owner.
+//
+// The status timestamp comes from the injected clock; HTTPHandler is the
+// serving wrapper that pins it to the wall clock, which keeps the
+// deterministic pipeline free of ambient time reads while tests pass a
+// fixed clock through HTTPHandlerWithClock.
 func HTTPHandler(rt *Runtime) http.Handler {
+	return HTTPHandlerWithClock(rt, time.Now) //lint:allow nondeterminism serving boundary: wall clock is the point
+}
+
+// HTTPHandlerWithClock is HTTPHandler with an explicit time source.
+func HTTPHandlerWithClock(rt *Runtime, now func() time.Time) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -40,7 +50,7 @@ func HTTPHandler(rt *Runtime) http.Handler {
 			Instances: tree.InstanceCount(),
 			Leaves:    len(tree.Leaves()),
 			Ticks:     len(rt.history),
-			Time:      time.Now().UTC(),
+			Time:      now().UTC(),
 		}
 		if n := len(rt.history); n > 0 {
 			status.LastTick = newTickView(rt.history[n-1])

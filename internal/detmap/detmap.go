@@ -1,0 +1,40 @@
+// Package detmap provides deterministic map traversal for the pipeline:
+// Go randomizes map iteration order, so any reduction, serialization or
+// selection over a map must go through sorted keys to keep runs
+// bit-identical (the contract smoothoplint's maprange analyzer enforces).
+package detmap
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns the map's keys in ascending order.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// First returns the entry with the smallest key, or zero values and false
+// for an empty map. It is the deterministic replacement for the "grab any
+// element" idiom.
+func First[K cmp.Ordered, V any](m map[K]V) (K, V, bool) {
+	var (
+		best  K
+		found bool
+	)
+	for k := range m {
+		if !found || k < best {
+			best, found = k, true //lint:allow maprange min-selection over keys is order-independent
+		}
+	}
+	if !found {
+		var zero V
+		return best, zero, false
+	}
+	return best, m[best], true
+}

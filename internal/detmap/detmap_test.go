@@ -1,0 +1,37 @@
+package detmap_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/detmap"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 2, "a": 1, "c": 3}
+	for i := 0; i < 50; i++ {
+		if got := detmap.SortedKeys(m); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+			t.Fatalf("run %d: SortedKeys = %v", i, got)
+		}
+	}
+	if got := detmap.SortedKeys(map[int]string{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v", got)
+	}
+	ints := map[int]bool{9: true, -1: true, 4: true}
+	if got := detmap.SortedKeys(ints); !reflect.DeepEqual(got, []int{-1, 4, 9}) {
+		t.Fatalf("SortedKeys(ints) = %v", got)
+	}
+}
+
+func TestFirst(t *testing.T) {
+	m := map[string]float64{"z": 26, "m": 13, "a": 1}
+	for i := 0; i < 50; i++ {
+		k, v, ok := detmap.First(m)
+		if !ok || k != "a" || v != 1 {
+			t.Fatalf("run %d: First = %q, %v, %v", i, k, v, ok)
+		}
+	}
+	if k, v, ok := detmap.First(map[string]float64{}); ok || k != "" || v != 0 {
+		t.Fatalf("First(empty) = %q, %v, %v", k, v, ok)
+	}
+}

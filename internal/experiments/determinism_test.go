@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFormatFig8Stable pins the regression the maprange analyzer guards
+// against: the cluster-composition rendering groups points through nested
+// maps, and its serialized output must be identical on every run (map
+// iteration order is randomized per process *and* per iteration).
+func TestFormatFig8Stable(t *testing.T) {
+	points := []Fig8Point{
+		{ID: "frontend-0003", Service: "frontend", Cluster: 2},
+		{ID: "dbA-0001", Service: "dbA", Cluster: 0},
+		{ID: "hadoop-0007", Service: "hadoop", Cluster: 1},
+		{ID: "frontend-0001", Service: "frontend", Cluster: 0},
+		{ID: "cache-0002", Service: "cache", Cluster: 1},
+		{ID: "hadoop-0002", Service: "hadoop", Cluster: 1},
+		{ID: "dbA-0004", Service: "dbA", Cluster: 2},
+		{ID: "search-0001", Service: "search", Cluster: 0},
+	}
+	first := FormatFig8(points)
+	for i := 0; i < 100; i++ {
+		if got := FormatFig8(points); got != first {
+			t.Fatalf("run %d: FormatFig8 output changed:\n--- first\n%s\n--- now\n%s", i, first, got)
+		}
+	}
+}
+
+// TestFig5RowsStable asserts the per-service grouping behind Fig. 5 (fleet
+// power breakdown) serializes identically across repeated evaluations of
+// the same fleet.
+func TestFig5RowsStable(t *testing.T) {
+	opt := fastOpt()
+	rows, err := Fig5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := FormatFig5(rows)
+	for i := 0; i < 3; i++ {
+		again, err := Fig5(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := FormatFig5(again); got != first {
+			t.Fatalf("run %d: Fig5 serialization changed:\n--- first\n%s\n--- now\n%s", i, first, got)
+		}
+	}
+}

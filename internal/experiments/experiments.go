@@ -109,8 +109,15 @@ func Run(name workload.DCName, opt Options) (*DCRun, error) {
 
 // RunAll executes the pipeline for all three datacenters, side by side.
 func RunAll(opt Options) ([]*DCRun, error) {
-	return parallel.Map(context.Background(), len(workload.AllDCs), opt.Workers, func(i int) (*DCRun, error) {
-		return Run(workload.AllDCs[i], opt)
+	return RunSome(workload.AllDCs, opt)
+}
+
+// RunSome executes the pipeline for the named datacenters, side by side.
+// A failure in any datacenter aborts the whole batch with an error naming
+// the datacenter and pipeline stage (never a silent partial result).
+func RunSome(names []workload.DCName, opt Options) ([]*DCRun, error) {
+	return parallel.Map(context.Background(), len(names), opt.Workers, func(i int) (*DCRun, error) {
+		return Run(names[i], opt)
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/capping"
+	"repro/internal/detmap"
 	"repro/internal/esd"
 	"repro/internal/placement"
 	"repro/internal/powertree"
@@ -222,9 +223,8 @@ func ExtensionCapping(name workload.DCName, opt Options, budgetMultiplier float6
 			return 0, 0, err
 		}
 		steps := 0
-		for _, tr := range test {
+		if _, tr, ok := detmap.First(test); ok {
 			steps = tr.Len()
-			break
 		}
 		throttleCount, lcShed := 0, 0.0
 		for step := 0; step < steps; step++ {

@@ -16,6 +16,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/detmap"
 	"repro/internal/timeseries"
 )
 
@@ -98,8 +99,8 @@ func NextWeek(history timeseries.Series, cfg Config) (timeseries.Series, error) 
 // NextWeekAll forecasts every trace in a table.
 func NextWeekAll(history map[string]timeseries.Series, cfg Config) (map[string]timeseries.Series, error) {
 	out := make(map[string]timeseries.Series, len(history))
-	for id, tr := range history {
-		f, err := NextWeek(tr, cfg)
+	for _, id := range detmap.SortedKeys(history) {
+		f, err := NextWeek(history[id], cfg)
 		if err != nil {
 			return nil, fmt.Errorf("forecast: instance %q: %w", id, err)
 		}

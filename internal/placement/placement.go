@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/detmap"
 	"repro/internal/powertree"
 	"repro/internal/score"
 	"repro/internal/timeseries"
@@ -293,8 +294,8 @@ func (w WorkloadAware) extractBasis(instances []Instance, traces map[string]time
 		power[inst.Service] += tr.MeanValue()
 	}
 	aggs := make([]svcAgg, 0, len(power))
-	for svc, p := range power {
-		aggs = append(aggs, svcAgg{svc, p})
+	for _, svc := range detmap.SortedKeys(power) {
+		aggs = append(aggs, svcAgg{svc, power[svc]})
 	}
 	sort.Slice(aggs, func(i, j int) bool {
 		if aggs[i].total != aggs[j].total {

@@ -2,7 +2,8 @@ package powertree
 
 import (
 	"fmt"
-	"sort"
+
+	"repro/internal/detmap"
 )
 
 // Move records one instance whose hosting leaf differs between two
@@ -36,13 +37,12 @@ func DiffPlacements(a, b *Node) ([]Move, error) {
 		ids[id] = true
 	}
 	var moves []Move
-	for id := range ids {
+	for _, id := range detmap.SortedKeys(ids) {
 		from, to := locA[id], locB[id]
 		if from != to {
 			moves = append(moves, Move{InstanceID: id, From: from, To: to})
 		}
 	}
-	sort.Slice(moves, func(i, j int) bool { return moves[i].InstanceID < moves[j].InstanceID })
 	return moves, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/detmap"
 	"repro/internal/timeseries"
 )
 
@@ -352,7 +353,8 @@ func Load(r io.Reader) (*Store, error) {
 		Step:      time.Duration(cp.StepSeconds * float64(time.Second)),
 		Retention: time.Duration(cp.RetentionSeconds * float64(time.Second)),
 	})
-	for id, dump := range cp.Instances {
+	for _, id := range detmap.SortedKeys(cp.Instances) {
+		dump := cp.Instances[id]
 		start, err := time.Parse(time.RFC3339, dump.Start)
 		if err != nil {
 			return nil, fmt.Errorf("tracestore: bad start for %q: %w", id, err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/detmap"
 	"repro/internal/powertree"
 )
 
@@ -43,8 +44,8 @@ type DCConfig struct {
 // TotalInstances returns the fleet size implied by the mix.
 func (c DCConfig) TotalInstances() int {
 	total := 0
-	for _, n := range c.Gen.Mix {
-		total += n
+	for _, svc := range detmap.SortedKeys(c.Gen.Mix) {
+		total += c.Gen.Mix[svc]
 	}
 	return total
 }

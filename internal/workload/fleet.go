@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/detmap"
 	"repro/internal/timeseries"
 )
 
@@ -89,8 +90,8 @@ func (g GenSpec) Validate() error {
 	if g.Weeks < 1 {
 		return fmt.Errorf("workload: weeks must be ≥ 1")
 	}
-	for svc, n := range g.Mix {
-		if n < 0 {
+	for _, svc := range detmap.SortedKeys(g.Mix) {
+		if g.Mix[svc] < 0 {
 			return fmt.Errorf("workload: negative count for service %q", svc)
 		}
 	}
@@ -103,14 +104,12 @@ func Generate(spec GenSpec, profiles map[string]Profile) (*Fleet, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	services := make([]string, 0, len(spec.Mix))
-	for svc := range spec.Mix {
+	services := detmap.SortedKeys(spec.Mix)
+	for _, svc := range services {
 		if _, ok := profiles[svc]; !ok {
 			return nil, fmt.Errorf("workload: no profile for service %q", svc)
 		}
-		services = append(services, svc)
 	}
-	sort.Strings(services)
 
 	rng := rand.New(rand.NewSource(spec.Seed))
 	n := int(7 * 24 * time.Hour / spec.Step * time.Duration(spec.Weeks))
@@ -269,7 +268,8 @@ func (f *Fleet) PowerBreakdown() []ServicePower {
 		total += m
 	}
 	out := make([]ServicePower, 0, len(byService))
-	for _, sp := range byService {
+	for _, svc := range detmap.SortedKeys(byService) {
+		sp := byService[svc]
 		if total > 0 {
 			sp.Share = sp.MeanPower / total
 		}

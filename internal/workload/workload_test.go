@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -183,6 +184,22 @@ func TestFleetLookups(t *testing.T) {
 	}
 	if _, ok := pf("nope"); ok {
 		t.Fatal("PowerFn must reject unknown IDs")
+	}
+}
+
+// TestPowerBreakdownStable pins the per-service grouping regression the
+// maprange analyzer guards: the breakdown reduces a by-service map and its
+// serialized form must be identical on every evaluation.
+func TestPowerBreakdownStable(t *testing.T) {
+	fleet, err := Generate(smallSpec(), StandardProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := fmt.Sprintf("%+v", fleet.PowerBreakdown())
+	for i := 0; i < 100; i++ {
+		if got := fmt.Sprintf("%+v", fleet.PowerBreakdown()); got != first {
+			t.Fatalf("run %d: PowerBreakdown changed:\n--- first\n%s\n--- now\n%s", i, first, got)
+		}
 	}
 }
 
