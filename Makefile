@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-race race cover bench bench-parallel experiments ablations extensions fuzz fuzz-short clean
+.PHONY: all check build vet lint test test-race race cover bench bench-parallel bench-json bench-smoke experiments ablations extensions fuzz fuzz-short clean
 
 all: check
 
@@ -38,6 +38,17 @@ bench:
 
 bench-parallel:
 	$(GO) test -run=NONE -bench='Parallel|Serial' -benchmem .
+
+# bench-json measures the score/tree/percentile kernels and the full RunAll
+# pipeline in-process and writes ns/op + allocs/op to BENCH_pipeline.json —
+# the perf trajectory future PRs diff against.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_pipeline.json
+
+# bench-smoke executes every benchmark exactly once so they cannot bit-rot;
+# CI runs this on every push.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
 
 experiments:
 	$(GO) run ./cmd/experiments -all

@@ -24,6 +24,7 @@ func benchOpt() experiments.Options {
 }
 
 func BenchmarkFig5ServiceMix(b *testing.B) {
+	b.ReportAllocs()
 	var top float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig5(benchOpt())
@@ -36,6 +37,7 @@ func BenchmarkFig5ServiceMix(b *testing.B) {
 }
 
 func BenchmarkFig6DiurnalBands(b *testing.B) {
+	b.ReportAllocs()
 	var swing float64
 	for i := 0; i < b.N; i++ {
 		series, err := experiments.Fig6(benchOpt())
@@ -58,6 +60,7 @@ func BenchmarkFig6DiurnalBands(b *testing.B) {
 }
 
 func BenchmarkFig8ClusterEmbedding(b *testing.B) {
+	b.ReportAllocs()
 	var n float64
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.Fig8(benchOpt(), 6)
@@ -80,6 +83,7 @@ func pipelineRuns(b *testing.B) []*experiments.DCRun {
 }
 
 func BenchmarkFig9ChildTraces(b *testing.B) {
+	b.ReportAllocs()
 	var reduction float64
 	for i := 0; i < b.N; i++ {
 		runs := pipelineRuns(b)
@@ -93,6 +97,7 @@ func BenchmarkFig9ChildTraces(b *testing.B) {
 }
 
 func BenchmarkFig10PeakReduction(b *testing.B) {
+	b.ReportAllocs()
 	var dc3 float64
 	for i := 0; i < b.N; i++ {
 		runs := pipelineRuns(b)
@@ -110,6 +115,7 @@ func BenchmarkFig10PeakReduction(b *testing.B) {
 }
 
 func BenchmarkFig11StatProf(b *testing.B) {
+	b.ReportAllocs()
 	var smoop float64
 	for i := 0; i < b.N; i++ {
 		runs := pipelineRuns(b)
@@ -128,6 +134,7 @@ func BenchmarkFig11StatProf(b *testing.B) {
 }
 
 func BenchmarkFig12Conversion(b *testing.B) {
+	b.ReportAllocs()
 	var batchGain float64
 	for i := 0; i < b.N; i++ {
 		runs := pipelineRuns(b)
@@ -141,6 +148,7 @@ func BenchmarkFig12Conversion(b *testing.B) {
 }
 
 func BenchmarkFig13Throughput(b *testing.B) {
+	b.ReportAllocs()
 	var lc float64
 	for i := 0; i < b.N; i++ {
 		runs := pipelineRuns(b)
@@ -154,6 +162,7 @@ func BenchmarkFig13Throughput(b *testing.B) {
 }
 
 func BenchmarkFig14Slack(b *testing.B) {
+	b.ReportAllocs()
 	var avg float64
 	for i := 0; i < b.N; i++ {
 		runs := pipelineRuns(b)
@@ -167,6 +176,7 @@ func BenchmarkFig14Slack(b *testing.B) {
 }
 
 func BenchmarkTable1FeatureMatrix(b *testing.B) {
+	b.ReportAllocs()
 	var rows float64
 	for i := 0; i < b.N; i++ {
 		rows = float64(len(experiments.Table1()))
@@ -190,48 +200,56 @@ func benchAblation(b *testing.B, run func() ([]experiments.AblationRow, error), 
 }
 
 func BenchmarkAblationIToSEmbedding(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationEmbedding(workload.DC3, benchOpt())
 	}, "itos-rpp-reduction-%", 0)
 }
 
 func BenchmarkAblationIToIEmbedding(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationEmbedding(workload.DC3, benchOpt())
 	}, "itoi-rpp-reduction-%", 1)
 }
 
 func BenchmarkAblationBalancedKMeans(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationClustering(workload.DC3, benchOpt())
 	}, "balanced-rpp-reduction-%", 0)
 }
 
 func BenchmarkAblationPlainKMeans(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationClustering(workload.DC3, benchOpt())
 	}, "plain-rpp-reduction-%", 1)
 }
 
 func BenchmarkAblationBasisSize(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationBasisSize(workload.DC3, benchOpt(), []int{2, 4, 8})
 	}, "b8-rpp-reduction-%", 2)
 }
 
 func BenchmarkAblationGlobalBasis(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationBasisScope(workload.DC3, benchOpt())
 	}, "global-basis-rpp-reduction-%", 1)
 }
 
 func BenchmarkAblationTrainWeeks(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationTrainWeeks(workload.DC3, benchOpt())
 	}, "train2wk-rpp-reduction-%", 1)
 }
 
 func BenchmarkAblationRemapOnly(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationRemap(workload.DC3, benchOpt(), 32)
 	}, "remap-rpp-reduction-%", 0)
@@ -241,6 +259,7 @@ func BenchmarkAblationRemapOnly(b *testing.B) {
 // arguments (§1/§6).
 
 func BenchmarkExtensionESDBaseline(b *testing.B) {
+	b.ReportAllocs()
 	var coverage float64
 	for i := 0; i < b.N; i++ {
 		cmp, err := experiments.ExtensionESD(workload.DC3, benchOpt(), 10, 1.02)
@@ -253,6 +272,7 @@ func BenchmarkExtensionESDBaseline(b *testing.B) {
 }
 
 func BenchmarkExtensionCappingFrequency(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		study, err := experiments.ExtensionCapping(workload.DC3, benchOpt(), 1.02)
@@ -269,6 +289,7 @@ func BenchmarkExtensionCappingFrequency(b *testing.B) {
 }
 
 func BenchmarkExtensionPowerRouting(b *testing.B) {
+	b.ReportAllocs()
 	var placedGain float64
 	for i := 0; i < b.N; i++ {
 		cmp, err := experiments.ExtensionRouting(workload.DC3, benchOpt(), 8)
@@ -281,6 +302,7 @@ func BenchmarkExtensionPowerRouting(b *testing.B) {
 }
 
 func BenchmarkSensitivityJitter(b *testing.B) {
+	b.ReportAllocs()
 	var spread float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.SweepHeterogeneity(workload.DC3, benchOpt(), []float64{0.25, 3.5})
@@ -293,6 +315,7 @@ func BenchmarkSensitivityJitter(b *testing.B) {
 }
 
 func BenchmarkAblationForecastPlacement(b *testing.B) {
+	b.ReportAllocs()
 	benchAblation(b, func() ([]experiments.AblationRow, error) {
 		return experiments.AblationForecast(workload.DC3, benchOpt())
 	}, "forecast-rpp-reduction-%", 1)
@@ -320,6 +343,7 @@ func benchScoreInput() ([]timeseries.Series, []timeseries.Series) {
 }
 
 func benchmarkScoreVectors(b *testing.B, workers int) {
+	b.ReportAllocs()
 	insts, basis := benchScoreInput()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -333,6 +357,7 @@ func BenchmarkScoreVectorsSerial(b *testing.B)    { benchmarkScoreVectors(b, 1) 
 func BenchmarkScoreVectorsParallel8(b *testing.B) { benchmarkScoreVectors(b, 8) }
 
 func benchmarkKMeansRestarts(b *testing.B, workers int) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	points := make([][]float64, 600)
 	for i := range points {
@@ -350,6 +375,7 @@ func BenchmarkKMeansRestartsSerial(b *testing.B)    { benchmarkKMeansRestarts(b,
 func BenchmarkKMeansRestartsParallel8(b *testing.B) { benchmarkKMeansRestarts(b, 8) }
 
 func benchmarkSweep(b *testing.B, workers int) {
+	b.ReportAllocs()
 	opt := benchOpt()
 	opt.Workers = workers
 	mixes := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}

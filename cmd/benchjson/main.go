@@ -1,0 +1,209 @@
+// benchjson measures the pipeline's hot kernels in-process (via
+// testing.Benchmark, so ns/op, B/op and allocs/op come from the standard
+// benchmark machinery) and writes them to a JSON file. `make bench-json`
+// produces BENCH_pipeline.json; successive PRs diff it to track the perf
+// trajectory of the scoring, aggregation and percentile kernels and of the
+// full experiment pipeline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/powertree"
+	"repro/internal/score"
+	"repro/internal/timeseries"
+)
+
+// result is one benchmark row of the output file.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func synthTraces(n, length int, seed int64) []timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	out := make([]timeseries.Series, n)
+	for i := range out {
+		s := timeseries.Zeros(start, 5*time.Minute, length)
+		for j := range s.Values {
+			s.Values[j] = 50 + 250*rng.Float64()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func benchTree() (*powertree.Node, powertree.PowerFn, error) {
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "bench", SuitesPerDC: 2, MSBsPerSuite: 2, SBsPerMSB: 2, RPPsPerSB: 2,
+		LeafBudget: 10000,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	traces := make(map[string]timeseries.Series)
+	for li, leaf := range tree.Leaves() {
+		for k, s := range synthTraces(8, 288, int64(li+1)) {
+			id := fmt.Sprintf("i%d-%d", li, k)
+			traces[id] = s
+			if err := leaf.Attach(id); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return tree, func(id string) (timeseries.Series, bool) {
+		s, ok := traces[id]
+		return s, ok
+	}, nil
+}
+
+// benchmarks builds the suite: kernel-level benches for the three hot paths
+// plus the full 3-DC pipeline. Every closure calls b.ReportAllocs so
+// allocs/op lands in the output.
+func benchmarks() (map[string]func(b *testing.B), error) {
+	scoreTraces := synthTraces(520, 288, 17)
+	instances, straces := scoreTraces[:512], scoreTraces[512:]
+	basis, err := score.NewBasis(straces)
+	if err != nil {
+		return nil, err
+	}
+	tree, pf, err := benchTree()
+	if err != nil {
+		return nil, err
+	}
+	week := synthTraces(1, timeseries.MinutesPerWeek, 23)[0]
+
+	return map[string]func(b *testing.B){
+		"score/basis_vector_into": func(b *testing.B) {
+			b.ReportAllocs()
+			dst := make([]float64, basis.Len())
+			for i := 0; i < b.N; i++ {
+				if err := basis.VectorInto(dst, instances[i%len(instances)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"score/vectors_batch512": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := score.VectorsParallel(instances, straces, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"powertree/aggregate_all": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.AggregateAll(pf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"powertree/per_node_oracle": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var failed error
+				tree.Walk(func(n *powertree.Node) {
+					if failed != nil {
+						return
+					}
+					if _, _, err := n.AggregatePower(pf); err != nil {
+						failed = err
+					}
+				})
+				if failed != nil {
+					b.Fatal(failed)
+				}
+			}
+		},
+		"timeseries/percentile_calc_week": func(b *testing.B) {
+			b.ReportAllocs()
+			var calc timeseries.PercentileCalc
+			calc.Percentile(week, 50)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = calc.Percentile(week, 95)
+			}
+		},
+		"timeseries/percentile_series_week": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = week.Percentile(95)
+			}
+		},
+		"experiments/run_all": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunAll(experiments.Options{
+					Scale: 1, Step: time.Hour, Seed: 1, TopServices: 8,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}, nil
+}
+
+// names fixes the output (and execution) order without ranging over the map.
+var names = []string{
+	"score/basis_vector_into",
+	"score/vectors_batch512",
+	"powertree/aggregate_all",
+	"powertree/per_node_oracle",
+	"timeseries/percentile_calc_week",
+	"timeseries/percentile_series_week",
+	"experiments/run_all",
+}
+
+func run(out string) error {
+	suite, err := benchmarks()
+	if err != nil {
+		return err
+	}
+	results := make([]result, 0, len(suite))
+	for _, name := range names {
+		fn, ok := suite[name]
+		if !ok {
+			return fmt.Errorf("benchjson: unknown benchmark %q", name)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: running %s\n", name)
+		r := testing.Benchmark(fn)
+		results = append(results, result{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return fmt.Errorf("benchjson: writing %s: %w", out, err)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), out)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pipeline.json", "output file")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -5,6 +5,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/powertree"
 	"repro/internal/score"
 	"repro/internal/timeseries"
 	"repro/internal/workload"
@@ -47,6 +49,115 @@ func TestScoreVectorsEquivalence(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("workers=%d: score vectors differ from serial run", w)
+		}
+	}
+}
+
+// TestScoreBasisOldVsNewEquivalence: the fused Basis fast path must be
+// bit-identical to the pre-Basis scoring path (per-instance NormalizeTo +
+// clone-based Asynchrony) at workers ∈ {1, 8}.
+func TestScoreBasisOldVsNewEquivalence(t *testing.T) {
+	t0 := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(5))
+	insts := make([]timeseries.Series, 48)
+	for i := range insts {
+		s := timeseries.Zeros(t0, 10*time.Minute, 144)
+		for j := range s.Values {
+			s.Values[j] = 50 + 200*rng.Float64()
+		}
+		insts[i] = s
+	}
+	basis := insts[:6]
+
+	// Old path, recomputed per instance exactly as score.Vector used to.
+	want := make([][]float64, len(insts))
+	for i, inst := range insts {
+		ip := inst.Peak()
+		v := make([]float64, len(basis))
+		for k, st := range basis {
+			s, err := score.Asynchrony(inst, st.NormalizeTo(ip))
+			if err != nil {
+				t.Fatal(err)
+			}
+			v[k] = s
+		}
+		want[i] = v
+	}
+
+	for _, w := range []int{1, 8} {
+		got, err := score.VectorsParallel(insts, basis, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: basis fast path differs from old scoring path", w)
+		}
+	}
+}
+
+// TestPowertreeAggregateOldVsNewEquivalence: the one-pass AggregateAll and
+// everything rerouted through it (SumOfPeaks, LevelPeaks) must be
+// bit-identical to independently recomputed per-node AggregatePower at
+// workers ∈ {1, 8}.
+func TestPowertreeAggregateOldVsNewEquivalence(t *testing.T) {
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "eq", SuitesPerDC: 2, MSBsPerSuite: 2, SBsPerMSB: 2, RPPsPerSB: 2,
+		LeafBudget: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(6))
+	traces := make(map[string]timeseries.Series)
+	for li, leaf := range tree.Leaves() {
+		for k := 0; k < 5; k++ {
+			id := fmt.Sprintf("i%d-%d", li, k)
+			s := timeseries.Zeros(t0, 10*time.Minute, 144)
+			for j := range s.Values {
+				s.Values[j] = 20 + 80*rng.Float64()
+			}
+			traces[id] = s
+			if err := leaf.Attach(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pf := powertree.PowerFn(func(id string) (timeseries.Series, bool) {
+		s, ok := traces[id]
+		return s, ok
+	})
+
+	for _, w := range []int{1, 8} {
+		aggs, err := tree.AggregateAllParallel(pf, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		tree.Walk(func(n *powertree.Node) {
+			want, _, err := n.AggregatePower(pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := aggs.Trace(n)
+			if !ok || !reflect.DeepEqual(got.Values, want.Values) {
+				t.Fatalf("workers=%d: aggregate differs at %s", w, n.Name)
+			}
+		})
+		for _, level := range powertree.Levels {
+			direct, err := tree.SumOfPeaksParallel(level, pf, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct != aggs.SumOfPeaks(level) {
+				t.Fatalf("workers=%d: SumOfPeaks(%s) differs", w, level)
+			}
+			peaks, err := tree.LevelPeaks(level, pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(peaks, aggs.LevelPeaks(level)) {
+				t.Fatalf("workers=%d: LevelPeaks(%s) differs", w, level)
+			}
 		}
 	}
 }

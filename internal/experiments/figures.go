@@ -38,35 +38,35 @@ func Fig9(run *DCRun) (*Fig9Result, error) {
 		return nil, fmt.Errorf("experiments: node %q missing from optimized tree", beforeNode.Name)
 	}
 	res := &Fig9Result{Node: beforeNode.Name}
-	var err error
-	res.Parent, _, err = afterNode.AggregatePower(testFn)
+	// One bottom-up pass per placement covers the MSB parent and all its SB
+	// children instead of re-aggregating each subtree separately.
+	afterAggs, err := afterNode.AggregateAll(testFn)
 	if err != nil {
 		return nil, err
 	}
-	collect := func(n *powertree.Node) ([]timeseries.Series, float64, error) {
+	parent, ok := afterAggs.Trace(afterNode)
+	if ok {
+		res.Parent = parent
+	}
+	beforeAggs, err := beforeNode.AggregateAll(testFn)
+	if err != nil {
+		return nil, err
+	}
+	collect := func(n *powertree.Node, aggs *powertree.Aggregates) ([]timeseries.Series, float64) {
 		var out []timeseries.Series
 		var peaks float64
 		for _, c := range n.Children {
-			agg, _, err := c.AggregatePower(testFn)
-			if err != nil {
-				return nil, 0, err
-			}
-			if agg.Empty() {
+			agg, ok := aggs.Trace(c)
+			if !ok || agg.Empty() {
 				continue
 			}
 			out = append(out, agg)
-			peaks += agg.Peak()
+			peaks += aggs.Peak(c)
 		}
-		return out, peaks, nil
+		return out, peaks
 	}
-	res.Before, res.BeforePeakSum, err = collect(beforeNode)
-	if err != nil {
-		return nil, err
-	}
-	res.After, res.AfterPeakSum, err = collect(afterNode)
-	if err != nil {
-		return nil, err
-	}
+	res.Before, res.BeforePeakSum = collect(beforeNode, beforeAggs)
+	res.After, res.AfterPeakSum = collect(afterNode, afterAggs)
 	return res, nil
 }
 

@@ -100,16 +100,19 @@ type LevelPeakReport struct {
 // tree and an optimized tree hosting the same instances. Both trees are
 // evaluated with the same trace lookup (typically the held-out test week).
 func PeakReduction(before, after *powertree.Node, traces powertree.PowerFn) ([]LevelPeakReport, error) {
+	// One bottom-up aggregation per tree serves all five levels.
+	bAggs, err := before.AggregateAll(traces)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: aggregating before tree: %w", err)
+	}
+	aAggs, err := after.AggregateAll(traces)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: aggregating after tree: %w", err)
+	}
 	out := make([]LevelPeakReport, 0, len(powertree.Levels))
 	for _, level := range powertree.Levels {
-		b, err := before.SumOfPeaks(level, traces)
-		if err != nil {
-			return nil, fmt.Errorf("metrics: before sum-of-peaks at %s: %w", level, err)
-		}
-		a, err := after.SumOfPeaks(level, traces)
-		if err != nil {
-			return nil, fmt.Errorf("metrics: after sum-of-peaks at %s: %w", level, err)
-		}
+		b := bAggs.SumOfPeaks(level)
+		a := aAggs.SumOfPeaks(level)
 		out = append(out, LevelPeakReport{Level: level, Before: b, After: a, ReductionPct: 100 * Reduction(b, a)})
 	}
 	return out, nil

@@ -1,0 +1,254 @@
+// One-pass bottom-up aggregation of the whole power tree.
+//
+// The fragmentation metrics walk the same tree over and over: SumOfPeaks at
+// five levels, LevelPeaks per figure, breaker checks per node. Computing each
+// node's aggregate independently re-sums every instance trace once per
+// ancestor — O(depth × instances × len) for a full-tree sweep. AggregateAll
+// instead folds each leaf's instances once (in parallel, one leaf per index)
+// and then combines child aggregates bottom-up, touching every instance
+// trace exactly once and every node trace a constant number of times:
+// O(instances × len + nodes × len) total. The combine uses the same
+// child-recursive operation order as AggregatePower, so every per-node
+// result is bit-identical to the per-node path for any worker count.
+package powertree
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/timeseries"
+)
+
+// aggEntry is one node's share of an Aggregates result.
+type aggEntry struct {
+	trace   timeseries.Series
+	peak    float64
+	started bool
+	missing []string
+}
+
+// Aggregates holds the aggregate power trace of every node in a tree,
+// computed by one bottom-up pass (AggregateAll). An Aggregates is a snapshot
+// of the tree and traces at computation time; it is immutable and safe for
+// concurrent reads.
+type Aggregates struct {
+	root    *Node
+	entries map[*Node]*aggEntry
+}
+
+// AggregateAll aggregates the whole subtree in one bottom-up pass with the
+// default worker count (see internal/parallel).
+func (n *Node) AggregateAll(power PowerFn) (*Aggregates, error) {
+	return n.AggregateAllParallel(power, 0)
+}
+
+// AggregateAllParallel is AggregateAll with an explicit worker count (≤ 0
+// means the package default). Leaf folds run concurrently, one leaf per
+// index; the bottom-up combine is serial in tree order. Results are
+// bit-identical to AggregatePower on every node for any worker count, and
+// the error returned is the one the lowest-index leaf would have hit in a
+// serial run.
+func (n *Node) AggregateAllParallel(power PowerFn, workers int) (*Aggregates, error) {
+	leaves := n.Leaves()
+	type leafFold struct {
+		trace   timeseries.Series
+		started bool
+		missing []string
+	}
+	folds, err := parallel.Map(context.Background(), len(leaves), workers, func(i int) (leafFold, error) {
+		m := leaves[i]
+		var f leafFold
+		for _, id := range m.Instances {
+			s, ok := power(id)
+			if !ok {
+				f.missing = append(f.missing, id)
+				continue
+			}
+			if !f.started {
+				f.trace = s.Clone()
+				f.started = true
+				continue
+			}
+			if e := f.trace.AddInPlace(s); e != nil {
+				return leafFold{}, fmt.Errorf("powertree: aggregating %q under %q: %w", id, m.Name, e)
+			}
+		}
+		return f, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Aggregates{root: n, entries: make(map[*Node]*aggEntry)}
+	// build visits nodes in pre-order, so leaves are consumed in Leaves()
+	// order and the counter stays aligned with folds.
+	leafIdx := 0
+	var build func(m *Node) (*aggEntry, error)
+	build = func(m *Node) (*aggEntry, error) {
+		e := &aggEntry{}
+		if m.IsLeaf() {
+			f := folds[leafIdx]
+			leafIdx++
+			e.trace, e.started, e.missing = f.trace, f.started, f.missing
+		} else {
+			// Interior nodes hosting instances are invalid (Validate rejects
+			// them) but AggregatePower tolerates them, so mirror its fold:
+			// own instances first, then child aggregates.
+			for _, id := range m.Instances {
+				s, ok := power(id)
+				if !ok {
+					e.missing = append(e.missing, id)
+					continue
+				}
+				if !e.started {
+					e.trace = s.Clone()
+					e.started = true
+					continue
+				}
+				if err := e.trace.AddInPlace(s); err != nil {
+					return nil, fmt.Errorf("powertree: aggregating %q under %q: %w", id, m.Name, err)
+				}
+			}
+			for _, c := range m.Children {
+				ce, err := build(c)
+				if err != nil {
+					return nil, err
+				}
+				e.missing = append(e.missing, ce.missing...)
+				if !ce.started {
+					continue
+				}
+				if !e.started {
+					// Clone: the child's aggregate stays live in the result
+					// and must not be mutated by further adds here.
+					e.trace = ce.trace.Clone()
+					e.started = true
+					continue
+				}
+				if err := e.trace.AddInPlace(ce.trace); err != nil {
+					return nil, fmt.Errorf("powertree: combining %q into %q: %w", c.Name, m.Name, err)
+				}
+			}
+		}
+		if e.started {
+			e.peak = e.trace.Peak()
+		}
+		a.entries[m] = e
+		return e, nil
+	}
+	if _, err := build(n); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Root returns the node the aggregation was rooted at.
+func (a *Aggregates) Root() *Node { return a.root }
+
+// Trace returns the node's aggregate power trace. ok is false when the node
+// was not part of the aggregated tree or hosts no traced instances. The
+// returned series is owned by the Aggregates and must not be mutated; Clone
+// it before in-place arithmetic.
+func (a *Aggregates) Trace(n *Node) (timeseries.Series, bool) {
+	e := a.entries[n]
+	if e == nil || !e.started {
+		return timeseries.Series{}, false
+	}
+	return e.trace, true
+}
+
+// Peak returns the peak of the node's aggregate power trace, or 0 when the
+// node was not aggregated or hosts no traced instances — the same convention
+// as Node.PeakPower.
+func (a *Aggregates) Peak(n *Node) float64 {
+	if e := a.entries[n]; e != nil {
+		return e.peak
+	}
+	return 0
+}
+
+// Missing returns the instance IDs under the node whose traces were unknown
+// at aggregation time, in pre-order tree order (AggregatePower's order).
+func (a *Aggregates) Missing(n *Node) []string {
+	if e := a.entries[n]; e != nil {
+		return e.missing
+	}
+	return nil
+}
+
+// Headroom returns budget − peak aggregate power for the node, like
+// Node.Headroom but without re-aggregating.
+func (a *Aggregates) Headroom(n *Node) float64 {
+	return n.Budget - a.Peak(n)
+}
+
+// SumOfPeaks computes Σ over nodes at the given level of each node's peak
+// aggregate power — the paper's fragmentation indicator #1 (§2.2) — from the
+// precomputed aggregates. Peaks are summed serially in tree order, matching
+// Node.SumOfPeaks bit-for-bit.
+func (a *Aggregates) SumOfPeaks(level Level) float64 {
+	var total float64
+	for _, m := range a.root.NodesAtLevel(level) {
+		total += a.Peak(m)
+	}
+	return total
+}
+
+// LevelPeaks returns the peak aggregate power of every node at a level,
+// keyed by node name.
+func (a *Aggregates) LevelPeaks(level Level) map[string]float64 {
+	nodes := a.root.NodesAtLevel(level)
+	out := make(map[string]float64, len(nodes))
+	for _, m := range nodes {
+		out[m.Name] = a.Peak(m)
+	}
+	return out
+}
+
+// CheckBreakers scans every aggregated node's trace and reports episodes
+// where the draw exceeded the node's budget for at least sustain, sorted by
+// node name then start index — the scan behind Node.CheckBreakers (§2.2).
+func (a *Aggregates) CheckBreakers(sustain time.Duration) []BreakerTrip {
+	var trips []BreakerTrip
+	a.root.Walk(func(m *Node) {
+		e := a.entries[m]
+		if e == nil || !e.started || e.trace.Empty() {
+			return
+		}
+		agg := e.trace
+		start, over := -1, 0.0
+		flush := func(end int) {
+			if start < 0 {
+				return
+			}
+			dur := time.Duration(end-start) * agg.Step
+			if dur >= sustain {
+				trips = append(trips, BreakerTrip{Node: m.Name, Level: m.Level, Start: start, Duration: dur, PeakOverdraw: over})
+			}
+			start, over = -1, 0
+		}
+		for i, v := range agg.Values {
+			if v > m.Budget {
+				if start < 0 {
+					start = i
+				}
+				if v-m.Budget > over {
+					over = v - m.Budget
+				}
+			} else {
+				flush(i)
+			}
+		}
+		flush(len(agg.Values))
+	})
+	sort.Slice(trips, func(i, j int) bool {
+		if trips[i].Node != trips[j].Node {
+			return trips[i].Node < trips[j].Node
+		}
+		return trips[i].Start < trips[j].Start
+	})
+	return trips
+}

@@ -1,6 +1,7 @@
 package powertree
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -124,6 +125,118 @@ func TestAggregationLinearityProperty(t *testing.T) {
 				t.Fatalf("trial %d: sum of peaks not monotone at %s: %v < %v", trial, level, s, prev)
 			}
 			prev = s
+		}
+	}
+}
+
+// randomTree builds a tree of random depth (1–4 levels below a DC root) and
+// random fan-out, with parent links wired the way Build wires them.
+func randomTree(rng *rand.Rand) *Node {
+	depth := rng.Intn(4) + 1
+	var build func(level, id int, name string) *Node
+	build = func(level, id int, name string) *Node {
+		n := &Node{Name: name, Level: Level(level), Budget: 1000}
+		if level == depth {
+			return n
+		}
+		for i := 0; i < rng.Intn(3)+1; i++ {
+			c := build(level+1, i, fmt.Sprintf("%s/%d", name, i))
+			c.parent = n
+			n.Children = append(n.Children, c)
+		}
+		return n
+	}
+	return build(0, 0, "dc")
+}
+
+// TestAggregateAllMatchesPerNodeOracle: the one-pass AggregateAll must match
+// independently recomputed per-node AggregatePower bit-for-bit — traces,
+// peaks, and missing lists — on randomized trees with varying depth, leaves
+// without instances, and instances without traces, at any worker count.
+func TestAggregateAllMatchesPerNodeOracle(t *testing.T) {
+	base := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		tree := randomTree(rng)
+		n := rng.Intn(40) + 1
+		traces := make(map[string]timeseries.Series)
+		instID := 0
+		for _, leaf := range tree.Leaves() {
+			for k := rng.Intn(4); k > 0; k-- { // some leaves stay empty
+				id := fmt.Sprintf("i%d", instID)
+				instID++
+				if err := leaf.Attach(id); err != nil {
+					t.Fatal(err)
+				}
+				if rng.Float64() < 0.15 {
+					continue // attached but untraced: must show up in Missing
+				}
+				s := timeseries.Zeros(base, time.Minute, n)
+				for j := range s.Values {
+					s.Values[j] = rng.Float64() * 100
+				}
+				traces[id] = s
+			}
+		}
+		pf := func(id string) (timeseries.Series, bool) {
+			s, ok := traces[id]
+			return s, ok
+		}
+
+		for _, workers := range []int{1, 8} {
+			aggs, err := tree.AggregateAllParallel(pf, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree.Walk(func(nd *Node) {
+				want, wantMissing, err := nd.AggregatePower(pf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, ok := aggs.Trace(nd)
+				if ok == want.Empty() {
+					t.Fatalf("trial %d workers %d: presence mismatch at %s", trial, workers, nd.Name)
+				}
+				if len(got.Values) != len(want.Values) {
+					t.Fatalf("trial %d workers %d: length mismatch at %s: %d vs %d",
+						trial, workers, nd.Name, len(got.Values), len(want.Values))
+				}
+				for i := range want.Values {
+					if got.Values[i] != want.Values[i] {
+						t.Fatalf("trial %d workers %d: trace differs at %s index %d: %v vs %v",
+							trial, workers, nd.Name, i, got.Values[i], want.Values[i])
+					}
+				}
+				wantPeak := 0.0
+				if !want.Empty() {
+					wantPeak = want.Peak()
+				}
+				if aggs.Peak(nd) != wantPeak {
+					t.Fatalf("trial %d workers %d: peak differs at %s: %v vs %v",
+						trial, workers, nd.Name, aggs.Peak(nd), wantPeak)
+				}
+				gotMissing := aggs.Missing(nd)
+				if len(gotMissing) != len(wantMissing) {
+					t.Fatalf("trial %d workers %d: missing count differs at %s: %v vs %v",
+						trial, workers, nd.Name, gotMissing, wantMissing)
+				}
+				for i := range wantMissing {
+					if gotMissing[i] != wantMissing[i] {
+						t.Fatalf("trial %d workers %d: missing order differs at %s: %v vs %v",
+							trial, workers, nd.Name, gotMissing, wantMissing)
+					}
+				}
+			})
+			for _, level := range Levels {
+				direct, err := tree.SumOfPeaksParallel(level, pf, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if direct != aggs.SumOfPeaks(level) {
+					t.Fatalf("trial %d workers %d: SumOfPeaks(%s) differs: %v vs %v",
+						trial, workers, level, direct, aggs.SumOfPeaks(level))
+				}
+			}
 		}
 	}
 }

@@ -12,14 +12,11 @@
 package powertree
 
 import (
-	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
-	"repro/internal/parallel"
 	"repro/internal/timeseries"
 )
 
@@ -325,40 +322,64 @@ type PowerFn func(instanceID string) (timeseries.Series, bool)
 
 // AggregatePower computes the node's aggregate power trace: the element-wise
 // sum of the traces of every instance hosted in its subtree. Instances whose
-// trace is unknown are skipped and reported.
+// trace is unknown are skipped and reported (in pre-order tree order).
+//
+// The fold is child-recursive: a node's own instance traces are summed in
+// order, then each child's aggregate is added in child order. This is the
+// exact operation order AggregateAll uses when it reuses child aggregates,
+// so the two paths are bit-identical; AggregatePower serves as the
+// independent per-node oracle in the equivalence tests. Callers that need
+// aggregates for many nodes of one tree should use AggregateAll, which
+// computes every node in a single walk instead of re-walking each subtree.
 func (n *Node) AggregatePower(power PowerFn) (timeseries.Series, []string, error) {
-	var agg timeseries.Series
-	var missing []string
-	started := false
-	var err error
-	n.Walk(func(m *Node) {
-		if err != nil {
-			return
-		}
-		for _, id := range m.Instances {
-			s, ok := power(id)
-			if !ok {
-				missing = append(missing, id)
-				continue
-			}
-			if !started {
-				agg = s.Clone()
-				started = true
-				continue
-			}
-			if e := agg.AddInPlace(s); e != nil {
-				err = fmt.Errorf("powertree: aggregating %q under %q: %w", id, n.Name, e)
-				return
-			}
-		}
-	})
-	if err != nil {
+	agg, started, missing, err := n.aggregateRecursive(power, n.Name)
+	if err != nil || !started {
 		return timeseries.Series{}, missing, err
 	}
-	if !started {
-		return timeseries.Series{}, missing, nil
-	}
 	return agg, missing, nil
+}
+
+// aggregateRecursive folds the node's own instance traces in order, then
+// each child's recursively-computed aggregate in child order. root names the
+// node the overall aggregation was requested for (used in errors). The
+// returned trace is freshly allocated and owned by the caller; started
+// distinguishes "no traced instances anywhere" from a genuine (possibly
+// zero-length) aggregate.
+func (n *Node) aggregateRecursive(power PowerFn, root string) (agg timeseries.Series, started bool, missing []string, err error) {
+	for _, id := range n.Instances {
+		s, ok := power(id)
+		if !ok {
+			missing = append(missing, id)
+			continue
+		}
+		if !started {
+			agg = s.Clone()
+			started = true
+			continue
+		}
+		if e := agg.AddInPlace(s); e != nil {
+			return timeseries.Series{}, false, missing, fmt.Errorf("powertree: aggregating %q under %q: %w", id, root, e)
+		}
+	}
+	for _, c := range n.Children {
+		cagg, cstarted, cmissing, cerr := c.aggregateRecursive(power, root)
+		missing = append(missing, cmissing...)
+		if cerr != nil {
+			return timeseries.Series{}, false, missing, cerr
+		}
+		if !cstarted {
+			continue
+		}
+		if !started {
+			agg = cagg
+			started = true
+			continue
+		}
+		if e := agg.AddInPlace(cagg); e != nil {
+			return timeseries.Series{}, false, missing, fmt.Errorf("powertree: combining %q into %q: %w", c.Name, n.Name, e)
+		}
+	}
+	return agg, started, missing, nil
 }
 
 // PeakPower returns the peak of the node's aggregate power trace, or 0 when
@@ -382,22 +403,15 @@ func (n *Node) SumOfPeaks(level Level, power PowerFn) (float64, error) {
 }
 
 // SumOfPeaksParallel is SumOfPeaks with an explicit worker count (≤ 0 means
-// the package default). Per-node peaks are computed concurrently but summed
-// serially in tree order, so the result is bit-identical to a serial run for
-// any worker count.
+// the package default). The tree is aggregated once bottom-up (leaf folds
+// run concurrently, peaks are summed serially in tree order), so the result
+// is bit-identical to a serial run for any worker count.
 func (n *Node) SumOfPeaksParallel(level Level, power PowerFn, workers int) (float64, error) {
-	nodes := n.NodesAtLevel(level)
-	peaks, err := parallel.Map(context.Background(), len(nodes), workers, func(i int) (float64, error) {
-		return nodes[i].PeakPower(power)
-	})
+	agg, err := n.AggregateAllParallel(power, workers)
 	if err != nil {
 		return 0, err
 	}
-	var total float64
-	for _, p := range peaks {
-		total += p
-	}
-	return total, nil
+	return agg.SumOfPeaks(level), nil
 }
 
 // Headroom returns budget − peak aggregate power for the node. Negative
@@ -430,71 +444,21 @@ type BreakerTrip struct {
 // node, after a short amount of time, the circuit breaker is tripped"
 // (§2.2).
 func (n *Node) CheckBreakers(power PowerFn, sustain time.Duration) ([]BreakerTrip, error) {
-	var trips []BreakerTrip
-	var err error
-	n.Walk(func(m *Node) {
-		if err != nil {
-			return
-		}
-		agg, _, e := m.AggregatePower(power)
-		if e != nil {
-			err = e
-			return
-		}
-		if agg.Empty() {
-			return
-		}
-		start, over := -1, 0.0
-		flush := func(end int) {
-			if start < 0 {
-				return
-			}
-			dur := time.Duration(end-start) * agg.Step
-			if dur >= sustain {
-				trips = append(trips, BreakerTrip{Node: m.Name, Level: m.Level, Start: start, Duration: dur, PeakOverdraw: over})
-			}
-			start, over = -1, 0
-		}
-		for i, v := range agg.Values {
-			if v > m.Budget {
-				if start < 0 {
-					start = i
-				}
-				if v-m.Budget > over {
-					over = v - m.Budget
-				}
-			} else {
-				flush(i)
-			}
-		}
-		flush(len(agg.Values))
-	})
+	agg, err := n.AggregateAll(power)
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(trips, func(i, j int) bool {
-		if trips[i].Node != trips[j].Node {
-			return trips[i].Node < trips[j].Node
-		}
-		return trips[i].Start < trips[j].Start
-	})
-	return trips, nil
+	return agg.CheckBreakers(sustain), nil
 }
 
 // LevelPeaks returns the peak aggregate power of every node at a level,
-// keyed by node name. Per-node aggregation runs with the default worker
-// count; the result is identical to a serial run for any worker count.
+// keyed by node name. The tree is aggregated once bottom-up with the default
+// worker count; the result is identical to a serial run for any worker
+// count.
 func (n *Node) LevelPeaks(level Level, power PowerFn) (map[string]float64, error) {
-	nodes := n.NodesAtLevel(level)
-	peaks, err := parallel.Map(context.Background(), len(nodes), 0, func(i int) (float64, error) {
-		return nodes[i].PeakPower(power)
-	})
+	agg, err := n.AggregateAll(power)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64, len(nodes))
-	for i, m := range nodes {
-		out[m.Name] = peaks[i]
-	}
-	return out, nil
+	return agg.LevelPeaks(level), nil
 }

@@ -45,6 +45,23 @@ func BenchmarkVectorB10(b *testing.B) {
 	}
 }
 
+func BenchmarkBasisVectorInto(b *testing.B) {
+	traces := benchTraces(11, 1008, 2)
+	inst, straces := traces[0], traces[1:]
+	basis, err := NewBasis(straces)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, basis.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := basis.VectorInto(dst, inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMatrix24(b *testing.B) {
 	traces := benchTraces(24, 1008, 3)
 	names := make([]string, len(traces))

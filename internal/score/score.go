@@ -7,11 +7,9 @@
 package score
 
 import (
-	"context"
 	"errors"
 	"fmt"
 
-	"repro/internal/parallel"
 	"repro/internal/timeseries"
 )
 
@@ -67,6 +65,10 @@ func Pairwise(a, b timeseries.Series) (float64, error) {
 // *timing* dissimilarity, not magnitude: an instance should not look
 // "asynchronous" with a service merely because that service's S-trace is
 // orders of magnitude larger.
+//
+// Vector is a thin wrapper over Basis; callers scoring many instances
+// against the same basis should build the Basis once (or use Vectors, which
+// does) so the S-traces are validated and peak-computed a single time.
 func Vector(instance timeseries.Series, straces []timeseries.Series) ([]float64, error) {
 	if len(straces) == 0 {
 		return nil, ErrNoTraces
@@ -75,23 +77,13 @@ func Vector(instance timeseries.Series, straces []timeseries.Series) ([]float64,
 	if ip <= 0 {
 		return nil, ErrZeroPeak
 	}
-	// Validate the basis up front: NormalizeTo silently passes a trace with
-	// a non-positive peak through unchanged, so without this check a bad
-	// S-trace only surfaces deep inside Pairwise as an ErrZeroPeak that no
-	// longer says which basis element is broken.
-	for i, st := range straces {
-		if st.Peak() <= 0 {
-			return nil, fmt.Errorf("score: S-trace %d has non-positive peak: %w", i, ErrZeroPeak)
-		}
+	b, err := NewBasis(straces)
+	if err != nil {
+		return nil, err
 	}
-	v := make([]float64, len(straces))
-	for i, st := range straces {
-		normalized := st.NormalizeTo(ip)
-		s, err := Pairwise(instance, normalized)
-		if err != nil {
-			return nil, fmt.Errorf("score: S-trace %d: %w", i, err)
-		}
-		v[i] = s
+	v := make([]float64, b.Len())
+	if err := b.vectorInto(v, instance, ip); err != nil {
+		return nil, err
 	}
 	return v, nil
 }
@@ -103,25 +95,6 @@ func Vector(instance timeseries.Series, straces []timeseries.Series) ([]float64,
 // with the default worker count (see internal/parallel).
 func Vectors(instances []timeseries.Series, straces []timeseries.Series) ([][]float64, error) {
 	return VectorsParallel(instances, straces, 0)
-}
-
-// VectorsParallel is Vectors with an explicit worker count (≤ 0 means the
-// package default). Every vector is written at its instance index, so the
-// result is bit-identical to a serial run for any worker count.
-func VectorsParallel(instances []timeseries.Series, straces []timeseries.Series, workers int) ([][]float64, error) {
-	out := make([][]float64, len(instances))
-	err := parallel.ForEach(context.Background(), len(instances), workers, func(i int) error {
-		v, err := Vector(instances[i], straces)
-		if err != nil {
-			return fmt.Errorf("score: instance %d: %w", i, err)
-		}
-		out[i] = v
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // Differential computes the differential asynchrony score of an instance

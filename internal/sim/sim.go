@@ -146,11 +146,19 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	n := cfg.LCLoad.Len()
+	// The four result series share one backing slab (capped slices, so an
+	// append on one can never spill into its neighbour): one allocation
+	// instead of four, which matters when RunMany fans out thousands of
+	// policy/config simulations.
+	slab := make([]float64, 4*n)
+	series := func(k int) timeseries.Series {
+		return timeseries.Series{Start: cfg.LCLoad.Start, Step: cfg.LCLoad.Step, Values: slab[k*n : (k+1)*n : (k+1)*n]}
+	}
 	res := &Result{
-		PerLCServerLoad: timeseries.Zeros(cfg.LCLoad.Start, cfg.LCLoad.Step, n),
-		LCThroughput:    timeseries.Zeros(cfg.LCLoad.Start, cfg.LCLoad.Step, n),
-		BatchThroughput: timeseries.Zeros(cfg.LCLoad.Start, cfg.LCLoad.Step, n),
-		Power:           timeseries.Zeros(cfg.LCLoad.Start, cfg.LCLoad.Step, n),
+		PerLCServerLoad: series(0),
+		LCThroughput:    series(1),
+		BatchThroughput: series(2),
+		Power:           series(3),
 	}
 	convLC, batchFreq := 0, 1.0
 	for i := 0; i < n; i++ {

@@ -72,8 +72,10 @@ func StatProf(tree *powertree.Node, traces powertree.PowerFn, cfg Config) ([]Req
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	// Pre-compute per-instance percentiles once.
+	// Pre-compute per-instance percentiles once, sharing one sort buffer
+	// across the whole (serial) walk.
 	perc := make(map[string]float64)
+	var calc timeseries.PercentileCalc
 	var err error
 	tree.Walk(func(n *powertree.Node) {
 		if err != nil {
@@ -88,7 +90,7 @@ func StatProf(tree *powertree.Node, traces powertree.PowerFn, cfg Config) ([]Req
 				err = fmt.Errorf("statprof: missing trace for instance %q", id)
 				return
 			}
-			perc[id] = tr.Percentile(100 - cfg.UnderProvision)
+			perc[id] = calc.Percentile(tr, 100-cfg.UnderProvision)
 		}
 	})
 	if err != nil {
@@ -115,18 +117,22 @@ func SmoothOperator(tree *powertree.Node, traces powertree.PowerFn, cfg Config) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// One bottom-up pass computes every node's aggregate; the per-level
+	// loops then only take percentiles, sharing one sort buffer.
+	aggs, err := tree.AggregateAll(traces)
+	if err != nil {
+		return nil, err
+	}
+	var calc timeseries.PercentileCalc
 	out := make([]RequiredBudget, 0, len(powertree.Levels))
 	for _, level := range powertree.Levels {
 		var total float64
 		for _, n := range tree.NodesAtLevel(level) {
-			agg, _, err := n.AggregatePower(traces)
-			if err != nil {
-				return nil, err
-			}
-			if agg.Empty() {
+			agg, ok := aggs.Trace(n)
+			if !ok || agg.Empty() {
 				continue
 			}
-			total += agg.Percentile(100 - cfg.UnderProvision)
+			total += calc.Percentile(agg, 100-cfg.UnderProvision)
 		}
 		out = append(out, RequiredBudget{Level: level, Budget: total / (1 + cfg.Overbook)})
 	}

@@ -47,6 +47,17 @@ func BenchmarkPercentileWeek(b *testing.B) {
 	}
 }
 
+func BenchmarkPercentileCalcWeek(b *testing.B) {
+	s := benchSeries(MinutesPerWeek, 4)
+	var calc PercentileCalc
+	calc.Percentile(s, 50) // warm the sort buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = calc.Percentile(s, 95)
+	}
+}
+
 func BenchmarkFoldThreeWeeks(b *testing.B) {
 	s := benchSeries(3*MinutesPerWeek, 5)
 	b.ReportAllocs()

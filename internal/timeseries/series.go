@@ -209,8 +209,15 @@ func Mean(series ...Series) (Series, error) {
 	return sum.Scale(1 / float64(len(series))), nil
 }
 
-// Peak returns the maximum reading. It implements peak(P) from Eq. 6.
+// Peak returns the maximum reading, or 0 when the series is empty. It
+// implements peak(P) from Eq. 6. The empty-series convention matches
+// MeanValue and Min: statistics of an empty series are 0, never ±Inf, so a
+// node hosting no traced instances reads as drawing no power rather than
+// propagating infinities into downstream arithmetic.
 func (s Series) Peak() float64 {
+	if s.Empty() {
+		return 0
+	}
 	max := math.Inf(-1)
 	for _, v := range s.Values {
 		if v > max {
@@ -231,8 +238,12 @@ func (s Series) PeakIndex() int {
 	return idx
 }
 
-// Min returns the minimum reading.
+// Min returns the minimum reading, or 0 when the series is empty (the same
+// empty-series convention as Peak and MeanValue).
 func (s Series) Min() float64 {
+	if s.Empty() {
+		return 0
+	}
 	min := math.Inf(1)
 	for _, v := range s.Values {
 		if v < min {
@@ -242,7 +253,8 @@ func (s Series) Min() float64 {
 	return min
 }
 
-// MeanValue returns the arithmetic mean of the readings, or 0 when empty.
+// MeanValue returns the arithmetic mean of the readings, or 0 when the
+// series is empty (the same empty-series convention as Peak and Min).
 func (s Series) MeanValue() float64 {
 	if s.Empty() {
 		return 0
@@ -271,33 +283,19 @@ func (s Series) Energy() float64 {
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of the readings
 // using linear interpolation between closest ranks. It is the c_{i,u}
-// primitive used by the statistical-profiling baseline (§5.2.1).
+// primitive used by the statistical-profiling baseline (§5.2.1). Each call
+// sorts a fresh copy; callers computing many percentiles should hold a
+// PercentileCalc, which reuses one sort buffer across calls.
 func (s Series) Percentile(p float64) float64 {
-	if s.Empty() {
-		return math.NaN()
-	}
-	sorted := make([]float64, len(s.Values))
-	copy(sorted, s.Values)
-	sort.Float64s(sorted)
-	return percentileOfSorted(sorted, p)
+	var c PercentileCalc
+	return c.Percentile(s, p)
 }
 
 // Percentiles returns several percentiles in one pass over a single sort.
+// As with Percentile, repeated callers should prefer a PercentileCalc.
 func (s Series) Percentiles(ps ...float64) []float64 {
-	out := make([]float64, len(ps))
-	if s.Empty() {
-		for i := range out {
-			out[i] = math.NaN()
-		}
-		return out
-	}
-	sorted := make([]float64, len(s.Values))
-	copy(sorted, s.Values)
-	sort.Float64s(sorted)
-	for i, p := range ps {
-		out[i] = percentileOfSorted(sorted, p)
-	}
-	return out
+	var c PercentileCalc
+	return c.PercentilesAppend(make([]float64, 0, len(ps)), s, ps...)
 }
 
 func percentileOfSorted(sorted []float64, p float64) float64 {
@@ -348,7 +346,9 @@ func CrossSectionBands(population []Series, pairs [][2]float64) ([]Band, error) 
 			Lo: make([]float64, n), Hi: make([]float64, n),
 		}
 	}
-	column := make([]float64, len(population))
+	columnBuf := getScratchF64(len(population))
+	defer putScratchF64(columnBuf)
+	column := *columnBuf
 	for t := 0; t < n; t++ {
 		for i, s := range population {
 			column[i] = s.Values[t]
@@ -454,8 +454,15 @@ func (s Series) FoldWeeks() (Series, error) {
 	if weekLen == 0 || len(s.Values) < weekLen {
 		return Series{}, fmt.Errorf("timeseries: FoldWeeks needs ≥1 week of data (%d < %d readings)", len(s.Values), weekLen)
 	}
-	sums := make([]float64, weekLen)
-	counts := make([]int, weekLen)
+	sumsBuf := getScratchF64(weekLen)
+	defer putScratchF64(sumsBuf)
+	sums := *sumsBuf
+	countsBuf := getScratchInt(weekLen)
+	defer putScratchInt(countsBuf)
+	counts := *countsBuf
+	for i := range sums {
+		sums[i], counts[i] = 0, 0
+	}
 	for i, v := range s.Values {
 		slot := i % weekLen
 		sums[slot] += v
