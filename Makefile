@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-race race cover bench bench-parallel bench-json bench-smoke experiments ablations extensions fuzz fuzz-short clean
+.PHONY: all check build vet lint test test-race race cover bench bench-parallel bench-json bench-smoke smoke experiments ablations extensions fuzz fuzz-short clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, the project linters, the full test
-# suite, and the same suite again under the race detector (the parallel
-# pipeline must be data-race-free and bit-identical at any worker count).
-check: build vet lint test test-race
+# suite, the same suite again under the race detector (the parallel pipeline
+# must be data-race-free and bit-identical at any worker count), and the
+# smoothopd replay smoke.
+check: build vet lint test test-race smoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +50,11 @@ bench-json:
 # CI runs this on every push.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# smoke drives smoothopd's run() end to end twice — replay, flag validation,
+# and a scrape of GET /metrics asserting deterministic counters.
+smoke:
+	$(GO) test -run 'TestSmoke|TestValidateFlags' -count=1 ./cmd/smoothopd
 
 experiments:
 	$(GO) run ./cmd/experiments -all

@@ -7,63 +7,152 @@
 // Usage:
 //
 //	smoothopd -dc DC2 -scale 1 -weeks 5 -step 30m -tree-out tree.json
+//
+// With -listen the daemon serves the runtime's HTTP status API (including
+// GET /metrics in Prometheus text format) after the replay; -metrics dumps
+// the metric registry to stderr periodically and once at replay end, and
+// -pprof additionally mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
+	// Imported for its metric registrations only: the daemon does not drive
+	// the capping controller during a replay, but /metrics should present
+	// the full catalogue (score, placement, powertree, capping, sim, ...).
+	_ "repro/internal/capping"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/powertree"
 	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
+// options collects the daemon's flag values.
+type options struct {
+	dc           string
+	scale        int
+	step         time.Duration
+	weeks        int
+	seed         int64
+	floor        float64
+	swaps        int
+	treeOut      string
+	listen       string
+	metricsEvery time.Duration
+	pprof        bool
+}
+
+// Named flag-validation errors, so scripts (and tests) can tell the failure
+// modes apart with errors.Is.
+var (
+	errBadWeeks = errors.New("-weeks must be ≥ 3 (2 training + 1 tick)")
+	errBadScale = errors.New("-scale must be ≥ 1")
+	errBadStep  = errors.New("-step must be positive")
+	errBadSwaps = errors.New("-swaps must be ≥ 0")
+	errBadFloor = errors.New("-floor must be positive")
+)
+
+// validate rejects nonsensical flag combinations up front, before any work
+// (a bad -scale or -step would otherwise fail deep inside workload.BuildDC,
+// and a negative -floor would disable remapping silently).
+func validate(o options) error {
+	if o.weeks < 3 {
+		return fmt.Errorf("%w, got %d", errBadWeeks, o.weeks)
+	}
+	if o.scale < 1 {
+		return fmt.Errorf("%w, got %d", errBadScale, o.scale)
+	}
+	if o.step <= 0 {
+		return fmt.Errorf("%w, got %s", errBadStep, o.step)
+	}
+	if o.swaps < 0 {
+		return fmt.Errorf("%w, got %d", errBadSwaps, o.swaps)
+	}
+	if o.floor <= 0 {
+		return fmt.Errorf("%w, got %g", errBadFloor, o.floor)
+	}
+	return nil
+}
+
+// listenAndServe is swapped out by the smoke test to capture the handler
+// instead of binding a socket.
+var listenAndServe = http.ListenAndServe
+
 func main() {
-	var (
-		dc      = flag.String("dc", "DC2", "datacenter: DC1, DC2 or DC3")
-		scale   = flag.Int("scale", 1, "fleet scale multiplier")
-		step    = flag.Duration("step", 30*time.Minute, "trace sampling interval")
-		weeks   = flag.Int("weeks", 5, "total weeks to replay (≥3: 2 training + ticks)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		floor   = flag.Float64("floor", 1.25, "leaf asynchrony score floor that triggers remapping")
-		swaps   = flag.Int("swaps", 24, "max swaps per weekly repair")
-		treeOut = flag.String("tree-out", "", "write the final placed tree as JSON to this file")
-		listen  = flag.String("listen", "", "after the replay, serve the runtime's HTTP status API on this address (e.g. :8080) until interrupted")
-	)
+	var o options
+	flag.StringVar(&o.dc, "dc", "DC2", "datacenter: DC1, DC2 or DC3")
+	flag.IntVar(&o.scale, "scale", 1, "fleet scale multiplier")
+	flag.DurationVar(&o.step, "step", 30*time.Minute, "trace sampling interval")
+	flag.IntVar(&o.weeks, "weeks", 5, "total weeks to replay (≥3: 2 training + ticks)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.Float64Var(&o.floor, "floor", 1.25, "leaf asynchrony score floor that triggers remapping")
+	flag.IntVar(&o.swaps, "swaps", 24, "max swaps per weekly repair")
+	flag.StringVar(&o.treeOut, "tree-out", "", "write the final placed tree as JSON to this file")
+	flag.StringVar(&o.listen, "listen", "", "after the replay, serve the runtime's HTTP status API on this address (e.g. :8080) until interrupted")
+	flag.DurationVar(&o.metricsEvery, "metrics", 0, "dump the metric registry to stderr at this interval during the replay (0 disables)")
+	flag.BoolVar(&o.pprof, "pprof", false, "with -listen, also mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
-	if err := run(*dc, *scale, *step, *weeks, *seed, *floor, *swaps, *treeOut, *listen); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "smoothopd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dc string, scale int, step time.Duration, weeks int, seed int64, floor float64, swaps int, treeOut, listen string) error {
-	if weeks < 3 {
-		return fmt.Errorf("need ≥3 weeks (2 training + 1 tick), got %d", weeks)
+// dumpMetrics writes the process-global registry as Prometheus text.
+func dumpMetrics(w io.Writer) {
+	fmt.Fprintln(w, "--- metrics ---")
+	if err := obs.Default().WriteProm(w); err != nil {
+		fmt.Fprintln(w, "metrics dump failed:", err)
 	}
-	cfg, err := workload.StandardDCConfig(workload.DCName(dc), scale)
+}
+
+func run(o options) error {
+	if err := validate(o); err != nil {
+		return err
+	}
+	if o.metricsEvery > 0 {
+		ticker := time.NewTicker(o.metricsEvery)
+		defer ticker.Stop()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					dumpMetrics(os.Stderr)
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	cfg, err := workload.StandardDCConfig(workload.DCName(o.dc), o.scale)
 	if err != nil {
 		return err
 	}
-	cfg.Gen.Step = step
-	cfg.Gen.Weeks = weeks
+	cfg.Gen.Step = o.step
+	cfg.Gen.Weeks = o.weeks
 	fleet, tree, err := workload.BuildDC(cfg)
 	if err != nil {
 		return err
 	}
 	store := tracestore.New(tracestore.Config{
-		Step:      step,
-		Retention: time.Duration(weeks+1) * 7 * 24 * time.Hour,
+		Step:      o.step,
+		Retention: time.Duration(o.weeks+1) * 7 * 24 * time.Hour,
 	})
 	rt, err := core.NewRuntime(
-		core.New(core.Config{TopServices: 8, Seed: seed}),
+		core.New(core.Config{TopServices: 8, Seed: o.seed}),
 		store, tree,
-		core.RuntimeConfig{ScoreFloor: floor, MaxSwapsPerTick: swaps},
+		core.RuntimeConfig{ScoreFloor: o.floor, MaxSwapsPerTick: o.swaps},
 	)
 	if err != nil {
 		return err
@@ -88,7 +177,7 @@ func run(dc string, scale int, step time.Duration, weeks int, seed int64, floor 
 	}
 
 	fmt.Printf("smoothopd — %s, %d instances, %d leaves, %d weeks at %s\n\n",
-		dc, len(fleet.Instances), len(tree.Leaves()), weeks, step)
+		o.dc, len(fleet.Instances), len(tree.Leaves()), o.weeks, o.step)
 
 	// Weeks 1–2: collect history.
 	trainEnd := start.Add(2 * week)
@@ -107,7 +196,7 @@ func run(dc string, scale int, step time.Duration, weeks int, seed int64, floor 
 	fmt.Println("placement bootstrapped from averaged I-traces")
 
 	// Remaining weeks: ingest + tick.
-	for w := 2; w < weeks; w++ {
+	for w := 2; w < o.weeks; w++ {
 		from := start.Add(time.Duration(w) * week)
 		to := from.Add(week)
 		if err := ingestWindow(from, to); err != nil {
@@ -121,8 +210,8 @@ func run(dc string, scale int, step time.Duration, weeks int, seed int64, floor 
 			w+1, rep.WorstNode, rep.WorstScore, rep.SumOfPeaks, len(rep.Swaps))
 	}
 
-	if treeOut != "" {
-		f, err := os.Create(treeOut)
+	if o.treeOut != "" {
+		f, err := os.Create(o.treeOut)
 		if err != nil {
 			return err
 		}
@@ -130,9 +219,9 @@ func run(dc string, scale int, step time.Duration, weeks int, seed int64, floor 
 		if err := rt.Tree().Save(f); err != nil {
 			return err
 		}
-		fmt.Printf("\nfinal placed tree written to %s\n", treeOut)
+		fmt.Printf("\nfinal placed tree written to %s\n", o.treeOut)
 		// Round-trip sanity: the checkpoint must load back valid.
-		g, err := os.Open(treeOut)
+		g, err := os.Open(o.treeOut)
 		if err != nil {
 			return err
 		}
@@ -141,9 +230,25 @@ func run(dc string, scale int, step time.Duration, weeks int, seed int64, floor 
 			return fmt.Errorf("checkpoint failed to load back: %w", err)
 		}
 	}
-	if listen != "" {
-		fmt.Printf("\nserving status API on %s (GET /status /tree /history /healthz)\n", listen)
-		return http.ListenAndServe(listen, core.HTTPHandler(rt))
+	if o.metricsEvery > 0 {
+		dumpMetrics(os.Stderr)
+	}
+	if o.listen != "" {
+		handler := core.HTTPHandler(rt)
+		routes := "GET /status /tree /history /metrics /healthz"
+		if o.pprof {
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			handler = mux
+			routes += " /debug/pprof/"
+		}
+		fmt.Printf("\nserving status API on %s (%s)\n", o.listen, routes)
+		return listenAndServe(o.listen, handler)
 	}
 	return nil
 }

@@ -86,8 +86,14 @@ func main() {
 			if agg.Empty() {
 				continue
 			}
+			// Guard the all-zero-trace case: Peak() is 0 there (the
+			// empty-series convention), and the swing ratio would be NaN.
+			swing := 0.0
+			if p := agg.Peak(); p > 0 {
+				swing = 100 * (p - agg.Min()) / p
+			}
 			fmt.Printf("  %-10s child%-2d  peak %8.0f  swing %5.1f%%\n",
-				label, i+1, agg.Peak(), 100*(agg.Peak()-agg.Min())/agg.Peak())
+				label, i+1, agg.Peak(), swing)
 		}
 	}
 	show("oblivious", msb)

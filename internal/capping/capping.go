@@ -248,7 +248,27 @@ func (c *Controller) Step(read Reader) ([]Throttle, []Event, error) {
 		}
 	}
 
-	return mergeThrottles(throttles), events, nil
+	merged := mergeThrottles(throttles)
+	var arms, releases uint64
+	for _, ev := range events {
+		if ev.Armed {
+			arms++
+		} else {
+			releases++
+		}
+	}
+	armedNow := 0
+	for _, on := range c.armed { // order-independent count over map values
+		if on {
+			armedNow++
+		}
+	}
+	obsSteps.Inc()
+	obsThrottlesIssued.Add(uint64(len(merged)))
+	obsArmEvents.Add(arms)
+	obsReleaseEvents.Add(releases)
+	obsArmedNodes.Set(float64(armedNow))
+	return merged, events, nil
 }
 
 // EffectivePower applies a set of throttles to raw instance powers and

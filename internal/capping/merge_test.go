@@ -1,0 +1,95 @@
+package capping
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeThrottles pins the per-instance merge semantics: the lowest
+// target wins, sheds accumulate only when the directive tightens the
+// target, the winning node label follows the tightening directive, and the
+// priority stays with the first directive seen.
+func TestMergeThrottles(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Throttle
+		want []Throttle
+	}{
+		{
+			name: "nil in, nil out",
+			in:   nil,
+			want: nil,
+		},
+		{
+			name: "distinct instances pass through in order",
+			in: []Throttle{
+				{InstanceID: "b", Node: "rpp-1", TargetPower: 90, Shed: 10, Priority: PriorityBatch},
+				{InstanceID: "a", Node: "rpp-2", TargetPower: 80, Shed: 5, Priority: PriorityLC},
+			},
+			want: []Throttle{
+				{InstanceID: "b", Node: "rpp-1", TargetPower: 90, Shed: 10, Priority: PriorityBatch},
+				{InstanceID: "a", Node: "rpp-2", TargetPower: 80, Shed: 5, Priority: PriorityLC},
+			},
+		},
+		{
+			name: "later lower target tightens: target, shed and node update",
+			in: []Throttle{
+				{InstanceID: "a", Node: "rpp-1", TargetPower: 90, Shed: 10, Priority: PriorityBatch},
+				{InstanceID: "a", Node: "sb-1", TargetPower: 70, Shed: 20, Priority: PriorityBatch},
+			},
+			want: []Throttle{
+				{InstanceID: "a", Node: "sb-1", TargetPower: 70, Shed: 30, Priority: PriorityBatch},
+			},
+		},
+		{
+			name: "later higher target is dropped entirely",
+			in: []Throttle{
+				{InstanceID: "a", Node: "rpp-1", TargetPower: 70, Shed: 30, Priority: PriorityBackend},
+				{InstanceID: "a", Node: "sb-1", TargetPower: 90, Shed: 10, Priority: PriorityBackend},
+			},
+			want: []Throttle{
+				{InstanceID: "a", Node: "rpp-1", TargetPower: 70, Shed: 30, Priority: PriorityBackend},
+			},
+		},
+		{
+			name: "priority keeps the first directive's class",
+			in: []Throttle{
+				{InstanceID: "a", Node: "rpp-1", TargetPower: 90, Shed: 10, Priority: PriorityLC},
+				{InstanceID: "a", Node: "sb-1", TargetPower: 70, Shed: 20, Priority: PriorityBatch},
+			},
+			want: []Throttle{
+				{InstanceID: "a", Node: "sb-1", TargetPower: 70, Shed: 30, Priority: PriorityLC},
+			},
+		},
+		{
+			name: "three levels cascade onto one instance among others",
+			in: []Throttle{
+				{InstanceID: "a", Node: "rpp-1", TargetPower: 95, Shed: 5, Priority: PriorityBatch},
+				{InstanceID: "b", Node: "rpp-1", TargetPower: 60, Shed: 40, Priority: PriorityBatch},
+				{InstanceID: "a", Node: "sb-1", TargetPower: 85, Shed: 10, Priority: PriorityBatch},
+				{InstanceID: "a", Node: "msb-1", TargetPower: 80, Shed: 5, Priority: PriorityBatch},
+			},
+			want: []Throttle{
+				{InstanceID: "a", Node: "msb-1", TargetPower: 80, Shed: 20, Priority: PriorityBatch},
+				{InstanceID: "b", Node: "rpp-1", TargetPower: 60, Shed: 40, Priority: PriorityBatch},
+			},
+		},
+		{
+			name: "equal target does not accumulate shed",
+			in: []Throttle{
+				{InstanceID: "a", Node: "rpp-1", TargetPower: 80, Shed: 20, Priority: PriorityBatch},
+				{InstanceID: "a", Node: "sb-1", TargetPower: 80, Shed: 20, Priority: PriorityBatch},
+			},
+			want: []Throttle{
+				{InstanceID: "a", Node: "rpp-1", TargetPower: 80, Shed: 20, Priority: PriorityBatch},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mergeThrottles(tc.in); !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("mergeThrottles(%+v)\n got %+v\nwant %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

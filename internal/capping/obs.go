@@ -1,0 +1,19 @@
+package capping
+
+import "repro/internal/obs"
+
+// Capping-controller metrics (see DESIGN.md "Observability"). The
+// controller walk is serial, so every value is exact and replay-
+// deterministic.
+var (
+	obsSteps = obs.Default().Counter("smoothop_capping_steps_total",
+		"Completed controller steps.")
+	obsThrottlesIssued = obs.Default().Counter("smoothop_capping_throttles_issued_total",
+		"Throttle directives issued after per-instance merging.")
+	obsArmEvents = obs.Default().Counter("smoothop_capping_arm_events_total",
+		"Node caps engaged.")
+	obsReleaseEvents = obs.Default().Counter("smoothop_capping_release_events_total",
+		"Node caps released.")
+	obsArmedNodes = obs.Default().Gauge("smoothop_capping_armed_nodes",
+		"Nodes whose cap is currently engaged.")
+)

@@ -173,11 +173,16 @@ func KMeans(points [][]float64, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	best := results[0]
-	for _, res := range results[1:] {
+	var iters uint64
+	for _, res := range results {
 		if res.Inertia < best.Inertia {
 			best = res
 		}
+		iters += uint64(res.Iterations)
 	}
+	obsKMeansRuns.Inc()
+	obsRestarts.Add(uint64(restarts))
+	obsIterations.Add(iters)
 	return best, nil
 }
 

@@ -1,0 +1,15 @@
+package cluster
+
+import "repro/internal/obs"
+
+// Clustering metrics (see DESIGN.md "Observability"). Updated after the
+// restart fan-out completes, so values are replay-deterministic at any
+// worker count.
+var (
+	obsKMeansRuns = obs.Default().Counter("smoothop_cluster_kmeans_runs_total",
+		"Completed KMeans invocations.")
+	obsRestarts = obs.Default().Counter("smoothop_cluster_kmeans_restarts_total",
+		"K-means restarts executed across all runs.")
+	obsIterations = obs.Default().Counter("smoothop_cluster_kmeans_iterations_total",
+		"Lloyd iterations executed across all restarts.")
+)

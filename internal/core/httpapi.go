@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // HTTPHandler exposes a runtime's state over HTTP for dashboards and
@@ -13,9 +16,11 @@ import (
 //	GET /status   — placement summary: instance count, leaves, tick count
 //	GET /tree     — the placed power tree as JSON (powertree.Save format)
 //	GET /history  — drift reports from every tick
+//	GET /metrics  — the obs registry in Prometheus text format
 //	GET /healthz  — liveness
 //
-// The handler is read-only; ingestion and ticking stay with the owner.
+// The handler is read-only; ingestion and ticking stay with the owner. Every
+// route answers GET only; other methods get 405 with an Allow header.
 //
 // The status timestamp comes from the injected clock; HTTPHandler is the
 // serving wrapper that pins it to the wall clock, which keeps the
@@ -25,18 +30,31 @@ func HTTPHandler(rt *Runtime) http.Handler {
 	return HTTPHandlerWithClock(rt, time.Now) //lint:allow nondeterminism serving boundary: wall clock is the point
 }
 
-// HTTPHandlerWithClock is HTTPHandler with an explicit time source.
+// HTTPHandlerWithClock is HTTPHandler with an explicit time source. Metrics
+// (request/error counters and the /metrics exposition) come from the
+// process-global obs registry.
 func HTTPHandlerWithClock(rt *Runtime, now func() time.Time) http.Handler {
+	return HTTPHandlerWithObs(rt, now, obs.Default())
+}
+
+// HTTPHandlerWithObs is HTTPHandlerWithClock with an explicit metrics
+// registry: /metrics serves reg, and the API's own request/error counters
+// register there. Tests use a fresh registry per handler to keep the
+// exposition independent of other activity in the process.
+func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) http.Handler {
+	api := &httpAPI{
+		rt: rt,
+		requests: reg.Counter("smoothop_http_requests_total",
+			"HTTP API requests received."),
+		errors: reg.Counter("smoothop_http_errors_total",
+			"HTTP API requests rejected or failed while encoding the response."),
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/healthz", api.get(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
-	})
-	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
-			return
-		}
+	}))
+	mux.HandleFunc("/status", api.get(func(w http.ResponseWriter, r *http.Request) {
 		tree := rt.Tree()
 		status := struct {
 			Placed    bool      `json:"placed"`
@@ -55,30 +73,69 @@ func HTTPHandlerWithClock(rt *Runtime, now func() time.Time) http.Handler {
 		if n := len(rt.history); n > 0 {
 			status.LastTick = newTickView(rt.history[n-1])
 		}
-		writeJSON(w, status)
-	})
-	mux.HandleFunc("/tree", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		api.writeJSON(w, status)
+	}))
+	mux.HandleFunc("/tree", api.get(func(w http.ResponseWriter, r *http.Request) {
+		// Render into a buffer first: writing the response body before a
+		// failure would lock in a 200 status with truncated JSON.
+		var buf bytes.Buffer
+		if err := rt.Tree().Save(&buf); err != nil {
+			api.errors.Inc()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := rt.Tree().Save(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
-			return
-		}
+		_, _ = w.Write(buf.Bytes())
+	}))
+	mux.HandleFunc("/history", api.get(func(w http.ResponseWriter, r *http.Request) {
 		views := make([]*tickView, len(rt.history))
 		for i, rep := range rt.history {
 			views[i] = newTickView(rep)
 		}
-		writeJSON(w, views)
-	})
+		api.writeJSON(w, views)
+	}))
+	mux.HandleFunc("/metrics", api.get(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		_ = reg.WriteProm(w)
+	}))
 	return mux
+}
+
+// httpAPI bundles the runtime with the API's own instrumentation.
+type httpAPI struct {
+	rt       *Runtime
+	requests *obs.Counter
+	errors   *obs.Counter
+}
+
+// get wraps a handler with request counting and the GET-only method check.
+func (a *httpAPI) get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		a.requests.Inc()
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			a.errors.Inc()
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// writeJSON encodes v into a buffer before touching the response, so an
+// encode failure can still produce a clean 500 instead of a 200 with a
+// truncated body, and counts encode failures on the error counter.
+func (a *httpAPI) writeJSON(w http.ResponseWriter, v interface{}) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		a.errors.Inc()
+		http.Error(w, "encoding response failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
 }
 
 // tickView is the wire form of a DriftReport.
@@ -102,13 +159,4 @@ func newTickView(rep *DriftReport) *tickView {
 	}
 	sort.Strings(v.SwappedIDs)
 	return v
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
 }

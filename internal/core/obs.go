@@ -1,0 +1,17 @@
+package core
+
+import "repro/internal/obs"
+
+// Runtime metrics (see DESIGN.md "Observability"). Ingest and Tick are
+// serial entry points, so the counters are exact and replay-deterministic;
+// the tick timing histogram is exempt.
+var (
+	obsIngestSamples = obs.Default().Counter("smoothop_runtime_ingest_samples_total",
+		"Power readings ingested into the trace store.")
+	obsTicks = obs.Default().Counter("smoothop_runtime_ticks_total",
+		"Completed drift-monitor ticks.")
+	obsTickSwaps = obs.Default().Counter("smoothop_runtime_tick_swaps_total",
+		"Swaps applied by drift-monitor ticks.")
+	obsTickSpan = obs.Default().Span("smoothop_runtime_tick_seconds",
+		"Wall time of one drift-monitor tick.")
+)

@@ -67,7 +67,11 @@ func NewRuntime(fw *Framework, store *tracestore.Store, tree *powertree.Node, cf
 
 // Ingest forwards one power reading into the store.
 func (r *Runtime) Ingest(id string, at time.Time, watts float64) error {
-	return r.store.Append(id, at, watts)
+	if err := r.store.Append(id, at, watts); err != nil {
+		return err
+	}
+	obsIngestSamples.Inc()
+	return nil
 }
 
 // Tree exposes the current (placed) tree for inspection.
@@ -116,6 +120,7 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 	if !r.placed {
 		return nil, ErrNotPlaced
 	}
+	timer := obsTickSpan.Start()
 	if window <= 0 {
 		window = 7 * 24 * time.Hour
 	}
@@ -132,5 +137,8 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 		return nil, err
 	}
 	r.history = append(r.history, rep)
+	obsTicks.Inc()
+	obsTickSwaps.Add(uint64(len(rep.Swaps)))
+	timer.End()
 	return rep, nil
 }

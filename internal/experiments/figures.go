@@ -78,12 +78,24 @@ func FormatFig9(r *Fig9Result) string {
 	fmt.Fprintf(&b, "  Σ child peaks (oblivious): %10.1f\n", r.BeforePeakSum)
 	fmt.Fprintf(&b, "  Σ child peaks (SmoothOp):  %10.1f\n", r.AfterPeakSum)
 	for i, s := range r.Before {
-		fmt.Fprintf(&b, "  orig. child%-2d peak %8.1f  swing %6.1f%%\n", i+1, s.Peak(), 100*(s.Peak()-s.Min())/s.Peak())
+		fmt.Fprintf(&b, "  orig. child%-2d peak %8.1f  swing %6.1f%%\n", i+1, s.Peak(), swingPct(s))
 	}
 	for i, s := range r.After {
-		fmt.Fprintf(&b, "  opt.  child%-2d peak %8.1f  swing %6.1f%%\n", i+1, s.Peak(), 100*(s.Peak()-s.Min())/s.Peak())
+		fmt.Fprintf(&b, "  opt.  child%-2d peak %8.1f  swing %6.1f%%\n", i+1, s.Peak(), swingPct(s))
 	}
 	return b.String()
+}
+
+// swingPct is the peak-to-trough swing as a percentage of the peak. Empty
+// and all-zero series report 0: since the empty-series convention changed
+// Peak() from −Inf to 0, dividing by the peak unguarded would turn such a
+// child into NaN.
+func swingPct(s timeseries.Series) float64 {
+	p := s.Peak()
+	if p <= 0 {
+		return 0
+	}
+	return 100 * (p - s.Min()) / p
 }
 
 // ---------------------------------------------------------------- Fig. 10

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// TestFormatFig9ZeroChildSwing is the regression test for the PR 3
+// empty-series convention change: an all-zero child trace has Peak() == 0
+// (not −Inf), so the swing ratio must be guarded or the figure renders NaN.
+func TestFormatFig9ZeroChildSwing(t *testing.T) {
+	start := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	step := 10 * time.Minute
+	busy := timeseries.Zeros(start, step, 4)
+	copy(busy.Values, []float64{1, 4, 2, 1})
+	zero := timeseries.Zeros(start, step, 4)
+
+	if got := swingPct(zero); got != 0 {
+		t.Fatalf("swingPct(all-zero) = %v, want 0", got)
+	}
+	if got := swingPct(timeseries.Series{}); got != 0 {
+		t.Fatalf("swingPct(empty) = %v, want 0", got)
+	}
+	if got := swingPct(busy); got != 75 {
+		t.Fatalf("swingPct(busy) = %v, want 75 ((4-1)/4)", got)
+	}
+
+	r := &Fig9Result{
+		Node:          "msb-0",
+		Parent:        busy,
+		Before:        []timeseries.Series{busy, zero},
+		After:         []timeseries.Series{zero},
+		BeforePeakSum: 4,
+		AfterPeakSum:  4,
+	}
+	out := FormatFig9(r)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("FormatFig9 rendered a degenerate ratio:\n%s", out)
+	}
+	if !strings.Contains(out, "orig. child2") {
+		t.Fatalf("zero child missing from output:\n%s", out)
+	}
+}

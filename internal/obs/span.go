@@ -1,0 +1,56 @@
+package obs
+
+import "time"
+
+// DurationBuckets are the default histogram bounds for stage timings, in
+// seconds: 10µs up to two minutes, roughly logarithmic. The range covers
+// everything from a single VectorsParallel batch on a test fleet to a full
+// experiment-scale tree aggregation.
+var DurationBuckets = []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5, 30, 120}
+
+// Span is a named stage timing: each Start/End pair observes the elapsed
+// wall time, in seconds, into a histogram registered under the span's name.
+// The clock is the registry's — injectable for tests, wall clock in
+// production — which is what keeps the instrumented pipeline packages free
+// of ambient time reads (the nondeterminism analyzer's contract).
+//
+// Timing histograms are the one metric family exempt from replay
+// determinism: two identical seeded runs agree on every counter and gauge
+// but not on elapsed time.
+type Span struct {
+	hist  *Histogram
+	clock func() time.Time
+}
+
+// Span returns the stage timer registered under name, creating its
+// histogram (with DurationBuckets) on first use.
+func (r *Registry) Span(name, help string) *Span {
+	return &Span{hist: r.Histogram(name, help, DurationBuckets), clock: r.clock}
+}
+
+// Start begins one timed stage. The returned Timer is a value — starting
+// and ending a span allocates nothing.
+func (s *Span) Start() Timer { return Timer{span: s, start: s.clock()} }
+
+// Timer is one in-flight Span measurement. The zero Timer is inert: End on
+// it records nothing and returns 0, so conditional instrumentation can keep
+// a Timer variable unconditionally.
+type Timer struct {
+	span  *Span
+	start time.Time
+}
+
+// End records the elapsed time since Start into the span's histogram and
+// returns it. Negative elapsed times (a fake clock running backwards) are
+// clamped to zero.
+func (t Timer) End() time.Duration {
+	if t.span == nil {
+		return 0
+	}
+	d := t.span.clock().Sub(t.start)
+	if d < 0 {
+		d = 0
+	}
+	t.span.hist.Observe(d.Seconds())
+	return d
+}

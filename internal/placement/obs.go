@@ -1,0 +1,17 @@
+package placement
+
+import "repro/internal/obs"
+
+// Remap metrics (see DESIGN.md "Observability"). The swap search is serial,
+// so the counters are exact; they are recorded once per completed Remap so
+// a failed remap contributes nothing.
+var (
+	obsRemaps = obs.Default().Counter("smoothop_placement_remaps_total",
+		"Completed Remap invocations.")
+	obsSwapsAttempted = obs.Default().Counter("smoothop_placement_swaps_attempted_total",
+		"Candidate swap pairs evaluated by Remap.")
+	obsSwapsApplied = obs.Default().Counter("smoothop_placement_swaps_applied_total",
+		"Swaps accepted and applied by Remap.")
+	obsRemapSpan = obs.Default().Span("smoothop_placement_remap_seconds",
+		"Wall time of one Remap invocation.")
+)

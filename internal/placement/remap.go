@@ -44,6 +44,7 @@ type RemapConfig struct {
 // scores at both nodes. It stops when no improving swap exists or MaxSwaps
 // is reached, returning the accepted swaps.
 func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error) {
+	timer := obsRemapSpan.Start()
 	maxSwaps := cfg.MaxSwaps
 	if maxSwaps <= 0 {
 		maxSwaps = 32
@@ -54,6 +55,8 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 	}
 	nodes := tree.NodesAtLevel(level)
 	if len(nodes) < 2 {
+		obsRemaps.Inc()
+		timer.End()
 		return nil, nil
 	}
 
@@ -94,6 +97,7 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 	}
 
 	var swaps []Swap
+	var attempted uint64
 	for len(swaps) < maxSwaps {
 		// 1. Find the most fragmented node.
 		worstIdx, worstScore := -1, math.Inf(1)
@@ -172,6 +176,7 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 				continue
 			}
 			for j := range pIDs {
+				attempted++
 				pPeers := peersOf(pTraces, j)
 				// Current differentials.
 				curA := victimDiff
@@ -210,6 +215,10 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 			break
 		}
 	}
+	obsRemaps.Inc()
+	obsSwapsAttempted.Add(attempted)
+	obsSwapsApplied.Add(uint64(len(swaps)))
+	timer.End()
 	return swaps, nil
 }
 

@@ -52,6 +52,7 @@ func (n *Node) AggregateAll(power PowerFn) (*Aggregates, error) {
 // the error returned is the one the lowest-index leaf would have hit in a
 // serial run.
 func (n *Node) AggregateAllParallel(power PowerFn, workers int) (*Aggregates, error) {
+	timer := obsAggregateSpan.Start()
 	leaves := n.Leaves()
 	type leafFold struct {
 		trace   timeseries.Series
@@ -142,6 +143,11 @@ func (n *Node) AggregateAllParallel(power PowerFn, workers int) (*Aggregates, er
 	if _, err := build(n); err != nil {
 		return nil, err
 	}
+	// Counted after the leaf fan-out and serial combine complete, so the
+	// totals are identical for any worker count.
+	obsAggregations.Inc()
+	obsNodesAggregated.Add(uint64(len(a.entries)))
+	timer.End()
 	return a, nil
 }
 
@@ -250,5 +256,7 @@ func (a *Aggregates) CheckBreakers(sustain time.Duration) []BreakerTrip {
 		}
 		return trips[i].Start < trips[j].Start
 	})
+	obsBreakerChecks.Inc()
+	obsBreakerTrips.Add(uint64(len(trips)))
 	return trips
 }

@@ -1,0 +1,19 @@
+package powertree
+
+import "repro/internal/obs"
+
+// Tree aggregation metrics (see DESIGN.md "Observability"). Counters are
+// bumped after the leaf fan-out completes, so values are replay-
+// deterministic at any worker count.
+var (
+	obsAggregations = obs.Default().Counter("smoothop_powertree_aggregations_total",
+		"Completed AggregateAll passes.")
+	obsNodesAggregated = obs.Default().Counter("smoothop_powertree_nodes_aggregated_total",
+		"Tree nodes covered by AggregateAll passes.")
+	obsAggregateSpan = obs.Default().Span("smoothop_powertree_aggregate_seconds",
+		"Wall time of one AggregateAll pass.")
+	obsBreakerChecks = obs.Default().Counter("smoothop_powertree_breaker_checks_total",
+		"Completed CheckBreakers scans.")
+	obsBreakerTrips = obs.Default().Counter("smoothop_powertree_breaker_trips_total",
+		"Breaker-trip episodes reported by CheckBreakers.")
+)

@@ -133,8 +133,11 @@ func pairwiseNormalized(instance, st timeseries.Series, ip, stPeak float64) (flo
 // semantics: the error reported is the one the lowest-index instance would
 // have hit in a serial loop.
 func VectorsParallel(instances []timeseries.Series, straces []timeseries.Series, workers int) ([][]float64, error) {
+	timer := obsBatchSpan.Start()
 	out := make([][]float64, len(instances))
 	if len(instances) == 0 {
+		obsBatches.Inc()
+		timer.End()
 		return out, nil
 	}
 	var basisErr error
@@ -181,5 +184,10 @@ func VectorsParallel(instances []timeseries.Series, straces []timeseries.Series,
 	if err != nil {
 		return nil, err
 	}
+	// Counted after the parallel loop returns, so the totals are identical
+	// for any worker count (the determinism contract).
+	obsVectors.Add(uint64(len(instances)))
+	obsBatches.Inc()
+	timer.End()
 	return out, nil
 }

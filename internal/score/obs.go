@@ -1,0 +1,15 @@
+package score
+
+import "repro/internal/obs"
+
+// Hot-path metrics (see DESIGN.md "Observability"). Counters are updated
+// only after the parallel batch completes, so their values are replay-
+// deterministic; the batch timing histogram is exempt.
+var (
+	obsVectors = obs.Default().Counter("smoothop_score_vectors_total",
+		"Instance score vectors computed by VectorsParallel.")
+	obsBatches = obs.Default().Counter("smoothop_score_batches_total",
+		"Completed VectorsParallel batches.")
+	obsBatchSpan = obs.Default().Span("smoothop_score_batch_seconds",
+		"Wall time of one VectorsParallel batch.")
+)

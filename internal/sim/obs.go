@@ -1,0 +1,17 @@
+package sim
+
+import "repro/internal/obs"
+
+// Simulation metrics (see DESIGN.md "Observability"). Each Run updates them
+// once on completion, so RunMany fan-outs accumulate the same totals at any
+// worker count.
+var (
+	obsRuns = obs.Default().Counter("smoothop_sim_runs_total",
+		"Completed simulation runs.")
+	obsSteps = obs.Default().Counter("smoothop_sim_steps_total",
+		"Simulation steps executed.")
+	obsQoSViolations = obs.Default().Counter("smoothop_sim_qos_violations_total",
+		"Steps where per-LC-server load exceeded the QoS knee.")
+	obsCapEvents = obs.Default().Counter("smoothop_sim_cap_events_total",
+		"Steps where the capping backstop had to act.")
+)

@@ -283,6 +283,10 @@ func Run(cfg Config) (*Result, error) {
 		res.TotalBatch += batchWork
 		res.DroppedLC += offered - served
 	}
+	obsRuns.Inc()
+	obsSteps.Add(uint64(n))
+	obsQoSViolations.Add(uint64(res.QoSViolations))
+	obsCapEvents.Add(uint64(res.CapEvents))
 	return res, nil
 }
 
