@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-race race cover bench bench-parallel bench-json bench-smoke smoke experiments ablations extensions fuzz fuzz-short clean
+.PHONY: all check build vet lint test test-race race cover bench bench-parallel bench-json bench-smoke smoke soak soak-short experiments ablations extensions fuzz fuzz-short clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, the project linters, the full test
 # suite, the same suite again under the race detector (the parallel pipeline
-# must be data-race-free and bit-identical at any worker count), and the
-# smoothopd replay smoke.
-check: build vet lint test test-race smoke
+# must be data-race-free and bit-identical at any worker count), the smoothopd
+# replay smoke, and the short fault-injection soak.
+check: build vet lint test test-race smoke soak-short
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,18 @@ bench-smoke:
 # and a scrape of GET /metrics asserting deterministic counters.
 smoke:
 	$(GO) test -run 'TestSmoke|TestValidateFlags' -count=1 ./cmd/smoothopd
+
+# soak replays weeks of telemetry twice — once clean, once through the seeded
+# fault injector — and asserts the faulted Σ-leaf-peaks trajectory stays
+# within the drift bound while the degradation machinery (quarantine,
+# fallback traces, ingest retries, emergency capping) absorbs the faults.
+soak:
+	$(GO) run ./cmd/smoothopd -dc DC1 -scale 2 -weeks 6 -faults heavy -soak -soak-drift 5
+
+# soak-short is the CI-sized soak: light faults over four weeks at scale 1,
+# run twice in-process to pin bit-identical reports and counter deltas.
+soak-short:
+	$(GO) test -run 'TestSoak|TestValidateFaultFlags' -count=1 ./cmd/smoothopd
 
 experiments:
 	$(GO) run ./cmd/experiments -all

@@ -8,10 +8,20 @@
 //
 //	smoothopd -dc DC2 -scale 1 -weeks 5 -step 30m -tree-out tree.json
 //
-// With -listen the daemon serves the runtime's HTTP status API (including
-// GET /metrics in Prometheus text format) after the replay; -metrics dumps
-// the metric registry to stderr periodically and once at replay end, and
-// -pprof additionally mounts net/http/pprof under /debug/pprof/.
+// With -faults light|heavy the telemetry stream passes through a seeded
+// fault injector (sensor dropout, stuck/spiky readings, clock skew,
+// reordering, transient store errors, plus a scheduled breaker trip on the
+// first leaf), and the runtime's graceful-degradation layer — quarantine,
+// reference-trace fallback, ingest retry, emergency capping — absorbs it.
+// -soak replays the same weeks twice, clean and faulted, and fails if the
+// faulted run's leaf-peak totals drift beyond -soak-drift percent of the
+// clean run.
+//
+// With -listen the daemon serves the runtime's HTTP API, versioned under
+// /v1/ (including GET /v1/metrics in Prometheus text format), after the
+// replay; -metrics dumps the metric registry to stderr periodically and
+// once at replay end, and -pprof additionally mounts net/http/pprof under
+// /debug/pprof/.
 package main
 
 import (
@@ -19,16 +29,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"time"
 
-	// Imported for its metric registrations only: the daemon does not drive
-	// the capping controller during a replay, but /metrics should present
-	// the full catalogue (score, placement, powertree, capping, sim, ...).
-	_ "repro/internal/capping"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/powertree"
@@ -49,16 +57,27 @@ type options struct {
 	listen       string
 	metricsEvery time.Duration
 	pprof        bool
+
+	faultsMode string
+	faultSeed  int64
+	faultDays  int
+	soak       bool
+	soakDrift  float64
 }
 
 // Named flag-validation errors, so scripts (and tests) can tell the failure
 // modes apart with errors.Is.
 var (
-	errBadWeeks = errors.New("-weeks must be ≥ 3 (2 training + 1 tick)")
-	errBadScale = errors.New("-scale must be ≥ 1")
-	errBadStep  = errors.New("-step must be positive")
-	errBadSwaps = errors.New("-swaps must be ≥ 0")
-	errBadFloor = errors.New("-floor must be positive")
+	errBadWeeks     = errors.New("-weeks must be ≥ 3 (2 training + 1 tick)")
+	errBadScale     = errors.New("-scale must be ≥ 1")
+	errBadStep      = errors.New("-step must be positive")
+	errBadSwaps     = errors.New("-swaps must be ≥ 0")
+	errBadFloor     = errors.New("-floor must be positive")
+	errBadFaults    = errors.New(`-faults must be "off", "light" or "heavy"`)
+	errBadFaultDays = errors.New("-fault-days must be ≥ 0")
+	errBadDrift     = errors.New("-soak-drift must be positive")
+	errSoakNoFaults = errors.New("-soak needs -faults light or heavy (a clean soak compares nothing)")
+	errSoakDrift    = errors.New("soak: faulted replay drifted beyond the bound")
 )
 
 // validate rejects nonsensical flag combinations up front, before any work
@@ -80,12 +99,31 @@ func validate(o options) error {
 	if o.floor <= 0 {
 		return fmt.Errorf("%w, got %g", errBadFloor, o.floor)
 	}
+	switch o.faultsMode {
+	case "", "off", "light", "heavy":
+	default:
+		return fmt.Errorf("%w, got %q", errBadFaults, o.faultsMode)
+	}
+	if o.faultDays < 0 {
+		return fmt.Errorf("%w, got %d", errBadFaultDays, o.faultDays)
+	}
+	if o.soak {
+		if o.soakDrift <= 0 {
+			return fmt.Errorf("%w, got %g", errBadDrift, o.soakDrift)
+		}
+		if o.faultsMode == "" || o.faultsMode == "off" {
+			return errSoakNoFaults
+		}
+	}
 	return nil
 }
 
 // listenAndServe is swapped out by the smoke test to capture the handler
-// instead of binding a socket.
-var listenAndServe = http.ListenAndServe
+// instead of binding a socket; out is swapped to capture the replay report.
+var (
+	listenAndServe           = http.ListenAndServe
+	out            io.Writer = os.Stdout
+)
 
 func main() {
 	var o options
@@ -97,9 +135,14 @@ func main() {
 	flag.Float64Var(&o.floor, "floor", 1.25, "leaf asynchrony score floor that triggers remapping")
 	flag.IntVar(&o.swaps, "swaps", 24, "max swaps per weekly repair")
 	flag.StringVar(&o.treeOut, "tree-out", "", "write the final placed tree as JSON to this file")
-	flag.StringVar(&o.listen, "listen", "", "after the replay, serve the runtime's HTTP status API on this address (e.g. :8080) until interrupted")
+	flag.StringVar(&o.listen, "listen", "", "after the replay, serve the runtime's HTTP API on this address (e.g. :8080) until interrupted")
 	flag.DurationVar(&o.metricsEvery, "metrics", 0, "dump the metric registry to stderr at this interval during the replay (0 disables)")
 	flag.BoolVar(&o.pprof, "pprof", false, "with -listen, also mount net/http/pprof under /debug/pprof/")
+	flag.StringVar(&o.faultsMode, "faults", "off", "fault-injection preset: off, light or heavy")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "fault injector seed (0 derives it from -seed)")
+	flag.IntVar(&o.faultDays, "fault-days", 0, "restrict telemetry faults to this many days after training (0 = the whole replay)")
+	flag.BoolVar(&o.soak, "soak", false, "replay twice (clean, then faulted) and fail if leaf-peak totals drift beyond -soak-drift percent")
+	flag.Float64Var(&o.soakDrift, "soak-drift", 2, "max allowed soak drift, in percent of the clean replay's leaf-peak totals")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "smoothopd:", err)
@@ -113,6 +156,179 @@ func dumpMetrics(w io.Writer) {
 	if err := obs.Default().WriteProm(w); err != nil {
 		fmt.Fprintln(w, "metrics dump failed:", err)
 	}
+}
+
+// buildInjector assembles the preset fault profile for a replay, including
+// a breaker trip on the tree's first leaf in the first post-training week.
+func buildInjector(o options, tree *powertree.Node, trainEnd time.Time) (*faults.Injector, error) {
+	if o.faultsMode == "" || o.faultsMode == "off" {
+		return nil, nil
+	}
+	seed := o.faultSeed
+	if seed == 0 {
+		seed = o.seed + 1000
+	}
+	var p faults.Profile
+	if o.faultsMode == "light" {
+		p = faults.Light(seed)
+	} else {
+		p = faults.Heavy(seed)
+	}
+	if o.faultDays > 0 {
+		p.ActiveFrom = trainEnd
+		p.ActiveFor = time.Duration(o.faultDays) * 24 * time.Hour
+	}
+	// A backup feed at a quarter of nominal sits below typical leaf peaks,
+	// so the trip actually forces breaker re-checks and emergency capping.
+	p.Trips = []faults.TripWindow{{
+		Node:           tree.Leaves()[0].Name,
+		Start:          trainEnd.Add(24 * time.Hour),
+		Duration:       48 * time.Hour,
+		BudgetFraction: 0.25,
+	}}
+	return faults.New(p, o.step, tree)
+}
+
+// replay drives one full week-by-week replay and returns the runtime with
+// its tick history. faulted toggles the injector; label prefixes the
+// progress lines so soak mode can interleave two replays readably.
+func replay(o options, faulted bool, label string) (*core.Runtime, error) {
+	cfg, err := workload.StandardDCConfig(workload.DCName(o.dc), o.scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Gen.Step = o.step
+	cfg.Gen.Weeks = o.weeks
+	fleet, tree, err := workload.BuildDC(cfg)
+	if err != nil {
+		return nil, err
+	}
+	store := tracestore.New(tracestore.Config{
+		Step:      o.step,
+		Retention: time.Duration(o.weeks+1) * 7 * 24 * time.Hour,
+		// Sensor spikes must not become interpolation endpoints; identity
+		// on clean telemetry, so both soak replays are conditioned alike.
+		RejectImpulses: true,
+	})
+	start := fleet.Instances[0].Trace.Start
+	week := 7 * 24 * time.Hour
+	trainEnd := start.Add(2 * week)
+	var inj *faults.Injector
+	if faulted {
+		if inj, err = buildInjector(o, tree, trainEnd); err != nil {
+			return nil, err
+		}
+	}
+	rt, err := core.NewRuntime(
+		core.New(core.Config{TopServices: 8, Seed: o.seed}),
+		store, tree,
+		core.RuntimeConfig{ScoreFloor: o.floor, MaxSwapsPerTick: o.swaps, Faults: inj},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	ingestWindow := func(from, to time.Time) error {
+		for _, inst := range fleet.Instances {
+			tr := inst.Trace
+			for i := 0; i < tr.Len(); i++ {
+				at := tr.TimeAt(i)
+				if at.Before(from) || !at.Before(to) {
+					continue
+				}
+				if err := rt.Ingest(inst.ID, at, tr.Values[i]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	mode := "clean telemetry"
+	if inj != nil {
+		mode = o.faultsMode + " faults"
+	}
+	fmt.Fprintf(out, "%ssmoothopd — %s, %d instances, %d leaves, %d weeks at %s, %s\n\n",
+		label, o.dc, len(fleet.Instances), len(tree.Leaves()), o.weeks, o.step, mode)
+
+	// Weeks 1–2: collect history.
+	if err := ingestWindow(start, trainEnd); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "%sweeks 1–2: telemetry collected\n", label)
+
+	instances := make([]placement.Instance, len(fleet.Instances))
+	for i, inst := range fleet.Instances {
+		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
+	}
+	if err := rt.Bootstrap(instances, trainEnd, 2); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "%splacement bootstrapped from averaged I-traces (quarantined: %d)\n",
+		label, len(rt.Quarantined()))
+
+	// Remaining weeks: ingest + tick.
+	for w := 2; w < o.weeks; w++ {
+		from := start.Add(time.Duration(w) * week)
+		to := from.Add(week)
+		if err := ingestWindow(from, to); err != nil {
+			return nil, err
+		}
+		if w == o.weeks-1 {
+			// Last week: drain the injector's reorder buffer so the final
+			// tick sees every delayed reading.
+			if err := rt.FlushFaults(); err != nil {
+				return nil, err
+			}
+		}
+		rep, err := rt.Tick(to, week)
+		if err != nil {
+			return nil, err
+		}
+		degraded := ""
+		if inj != nil {
+			degraded = fmt.Sprintf("  quarantined %d  trips %d  emergency throttles %d",
+				len(rep.Quarantined), len(rep.ActiveTrips), len(rep.EmergencyThrottles))
+		}
+		fmt.Fprintf(out, "%sweek %d tick: worst leaf %-22s score %.3f  Σ leaf peaks %9.0f  swaps %d%s\n",
+			label, w+1, rep.WorstNode, rep.WorstScore, rep.SumOfPeaks, len(rep.Swaps), degraded)
+	}
+	return rt, nil
+}
+
+// runSoak replays the configured weeks twice — clean, then faulted — and
+// compares leaf-peak totals tick by tick. Both replays are fully seeded, so
+// two soak runs with the same flags produce bit-identical reports.
+func runSoak(o options) error {
+	clean, err := replay(o, false, "[clean]  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	faulted, err := replay(o, true, "[faults] ")
+	if err != nil {
+		return err
+	}
+
+	ch, fh := clean.History(), faulted.History()
+	if len(ch) != len(fh) {
+		return fmt.Errorf("soak: clean replay ticked %d times, faulted %d", len(ch), len(fh))
+	}
+	fmt.Fprintf(out, "\nsoak drift report (%s faults, bound %.2f%%)\n", o.faultsMode, o.soakDrift)
+	maxDrift := 0.0
+	for i := range ch {
+		drift := 100 * math.Abs(fh[i].SumOfPeaks-ch[i].SumOfPeaks) / ch[i].SumOfPeaks
+		if drift > maxDrift {
+			maxDrift = drift
+		}
+		fmt.Fprintf(out, "week %d: Σ leaf peaks clean %9.0f  faulted %9.0f  drift %.3f%%\n",
+			i+3, ch[i].SumOfPeaks, fh[i].SumOfPeaks, drift)
+	}
+	if maxDrift > o.soakDrift {
+		return fmt.Errorf("%w: max drift %.3f%% > %.2f%%", errSoakDrift, maxDrift, o.soakDrift)
+	}
+	fmt.Fprintf(out, "soak passed: max drift %.3f%% within %.2f%%\n", maxDrift, o.soakDrift)
+	return nil
 }
 
 func run(o options) error {
@@ -135,79 +351,12 @@ func run(o options) error {
 			}
 		}()
 	}
-	cfg, err := workload.StandardDCConfig(workload.DCName(o.dc), o.scale)
+	if o.soak {
+		return runSoak(o)
+	}
+	rt, err := replay(o, o.faultsMode != "" && o.faultsMode != "off", "")
 	if err != nil {
 		return err
-	}
-	cfg.Gen.Step = o.step
-	cfg.Gen.Weeks = o.weeks
-	fleet, tree, err := workload.BuildDC(cfg)
-	if err != nil {
-		return err
-	}
-	store := tracestore.New(tracestore.Config{
-		Step:      o.step,
-		Retention: time.Duration(o.weeks+1) * 7 * 24 * time.Hour,
-	})
-	rt, err := core.NewRuntime(
-		core.New(core.Config{TopServices: 8, Seed: o.seed}),
-		store, tree,
-		core.RuntimeConfig{ScoreFloor: o.floor, MaxSwapsPerTick: o.swaps},
-	)
-	if err != nil {
-		return err
-	}
-
-	start := fleet.Instances[0].Trace.Start
-	week := 7 * 24 * time.Hour
-	ingestWindow := func(from, to time.Time) error {
-		for _, inst := range fleet.Instances {
-			tr := inst.Trace
-			for i := 0; i < tr.Len(); i++ {
-				at := tr.TimeAt(i)
-				if at.Before(from) || !at.Before(to) {
-					continue
-				}
-				if err := rt.Ingest(inst.ID, at, tr.Values[i]); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-
-	fmt.Printf("smoothopd — %s, %d instances, %d leaves, %d weeks at %s\n\n",
-		o.dc, len(fleet.Instances), len(tree.Leaves()), o.weeks, o.step)
-
-	// Weeks 1–2: collect history.
-	trainEnd := start.Add(2 * week)
-	if err := ingestWindow(start, trainEnd); err != nil {
-		return err
-	}
-	fmt.Println("weeks 1–2: telemetry collected")
-
-	instances := make([]placement.Instance, len(fleet.Instances))
-	for i, inst := range fleet.Instances {
-		instances[i] = placement.Instance{ID: inst.ID, Service: inst.Service}
-	}
-	if err := rt.Bootstrap(instances, trainEnd, 2); err != nil {
-		return err
-	}
-	fmt.Println("placement bootstrapped from averaged I-traces")
-
-	// Remaining weeks: ingest + tick.
-	for w := 2; w < o.weeks; w++ {
-		from := start.Add(time.Duration(w) * week)
-		to := from.Add(week)
-		if err := ingestWindow(from, to); err != nil {
-			return err
-		}
-		rep, err := rt.Tick(to, week)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("week %d tick: worst leaf %-22s score %.3f  Σ leaf peaks %9.0f  swaps %d\n",
-			w+1, rep.WorstNode, rep.WorstScore, rep.SumOfPeaks, len(rep.Swaps))
 	}
 
 	if o.treeOut != "" {
@@ -219,7 +368,7 @@ func run(o options) error {
 		if err := rt.Tree().Save(f); err != nil {
 			return err
 		}
-		fmt.Printf("\nfinal placed tree written to %s\n", o.treeOut)
+		fmt.Fprintf(out, "\nfinal placed tree written to %s\n", o.treeOut)
 		// Round-trip sanity: the checkpoint must load back valid.
 		g, err := os.Open(o.treeOut)
 		if err != nil {
@@ -235,7 +384,7 @@ func run(o options) error {
 	}
 	if o.listen != "" {
 		handler := core.HTTPHandler(rt)
-		routes := "GET /status /tree /history /metrics /healthz"
+		routes := "GET /v1/{health,status,tree,history,metrics} + deprecated legacy aliases"
 		if o.pprof {
 			mux := http.NewServeMux()
 			mux.Handle("/", handler)
@@ -247,7 +396,7 @@ func run(o options) error {
 			handler = mux
 			routes += " /debug/pprof/"
 		}
-		fmt.Printf("\nserving status API on %s (%s)\n", o.listen, routes)
+		fmt.Fprintf(out, "\nserving status API on %s (%s)\n", o.listen, routes)
 		return listenAndServe(o.listen, handler)
 	}
 	return nil

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFaultFlags(t *testing.T) {
+	good := options{dc: "DC1", scale: 1, step: time.Hour, weeks: 3, floor: 1.25, swaps: 24,
+		faultsMode: "light", soak: true, soakDrift: 2}
+	if err := validate(good); err != nil {
+		t.Fatalf("valid soak options rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*options)
+		want   error
+	}{
+		{"unknown preset", func(o *options) { o.faultsMode = "apocalyptic" }, errBadFaults},
+		{"negative fault days", func(o *options) { o.faultDays = -1 }, errBadFaultDays},
+		{"zero drift bound", func(o *options) { o.soakDrift = 0 }, errBadDrift},
+		{"negative drift bound", func(o *options) { o.soakDrift = -1 }, errBadDrift},
+		{"soak without faults", func(o *options) { o.faultsMode = "off" }, errSoakNoFaults},
+	}
+	for _, tc := range cases {
+		o := good
+		tc.mutate(&o)
+		if err := validate(o); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Flags default to a valid non-soak configuration.
+	good.soak = false
+	good.soakDrift = 0
+	good.faultsMode = "off"
+	if err := validate(good); err != nil {
+		t.Fatalf("default fault flags rejected: %v", err)
+	}
+}
+
+// TestSoakDeterminism runs the soak harness twice with identical flags: the
+// drift reports must be bit-identical and every counter must move by the
+// same delta (the acceptance contract for seeded fault replays). It also
+// pins the drift itself within the bound, i.e. the degradation layer keeps
+// the faulted replay close to the clean one.
+func TestSoakDeterminism(t *testing.T) {
+	o := options{dc: "DC1", scale: 1, step: time.Hour, weeks: 4, seed: 1,
+		floor: 1.25, swaps: 8, faultsMode: "light", soak: true, soakDrift: 2}
+
+	var buf bytes.Buffer
+	prev := out
+	out = &buf
+	defer func() { out = prev }()
+
+	v0 := snapshotTotals(t)
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	report1 := buf.String()
+	v1 := snapshotTotals(t)
+
+	buf.Reset()
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	report2 := buf.String()
+	v2 := snapshotTotals(t)
+
+	if report1 != report2 {
+		t.Fatalf("two soak runs with the same seed produced different reports:\n--- first ---\n%s\n--- second ---\n%s", report1, report2)
+	}
+	for name, after := range v2 {
+		d1 := v1[name] - v0[name]
+		d2 := after - v1[name]
+		if d1 != d2 {
+			t.Errorf("%s: first soak moved it by %d, second by %d", name, d1, d2)
+		}
+	}
+	if !strings.Contains(report1, "soak passed") {
+		t.Fatalf("soak report missing pass line:\n%s", report1)
+	}
+	// The faulted replay exercised the degradation machinery.
+	if v1["smoothop_faults_dropped_total"] <= v0["smoothop_faults_dropped_total"] {
+		t.Error("no dropped readings counted during a light-fault soak")
+	}
+	if v1["smoothop_runtime_ingest_retries_total"] <= v0["smoothop_runtime_ingest_retries_total"] {
+		t.Error("no ingest retries counted during a light-fault soak")
+	}
+	if v1["smoothop_runtime_emergency_throttles_total"] <= v0["smoothop_runtime_emergency_throttles_total"] {
+		t.Error("the scheduled breaker trip never escalated into emergency throttles")
+	}
+}
+
+// TestSoakDriftBoundEnforced sets an absurdly tight bound and expects the
+// named drift error.
+func TestSoakDriftBoundEnforced(t *testing.T) {
+	o := options{dc: "DC1", scale: 1, step: time.Hour, weeks: 3, seed: 1,
+		floor: 1.25, swaps: 8, faultsMode: "heavy", soak: true, soakDrift: 1e-9}
+	var buf bytes.Buffer
+	prev := out
+	out = &buf
+	defer func() { out = prev }()
+	if err := run(o); !errors.Is(err, errSoakDrift) {
+		t.Fatalf("err = %v, want %v", err, errSoakDrift)
+	}
+}

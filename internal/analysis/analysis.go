@@ -130,6 +130,7 @@ var pipelinePackages = map[string]bool{
 	"core":        true,
 	"experiments": true,
 	"workload":    true,
+	"faults":      true,
 }
 
 // IsPipelinePackage reports whether an import path addresses one of the

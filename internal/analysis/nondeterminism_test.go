@@ -112,3 +112,56 @@ var clock2 func() time.Time = time.Now //lint:allow maprange wrong analyzer, sti
 	diags := checkFixture(t, analysis.NondeterminismAnalyzer, "repro/internal/core", src)
 	wantDiags(t, diags, analysis.NondeterminismAnalyzer, 7)
 }
+
+// TestNondeterminismFaultsIsPipeline pins internal/faults as a pipeline
+// package: injected faults must replay bit-identically across runs and feed
+// orders, so wall clock and the global rand source are banned there.
+func TestNondeterminismFaultsIsPipeline(t *testing.T) {
+	src := `package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64    { return rand.Float64() }
+func stamp() time.Time   { return time.Now() }
+`
+	diags := checkFixture(t, analysis.NondeterminismAnalyzer, "repro/internal/faults", src)
+	wantDiags(t, diags, analysis.NondeterminismAnalyzer, 8, 9)
+}
+
+// TestNondeterminismFaultsConfigSeedingIsClean pins the approved fault
+// pattern: every decision is a pure hash of (Profile.Seed, fault kind,
+// instance, slot) — stateless, feed-order-independent, and invisible to the
+// nondeterminism analyzer because no entropy source is ever mentioned.
+func TestNondeterminismFaultsConfigSeedingIsClean(t *testing.T) {
+	src := `package faults
+
+type Profile struct{ Seed int64 }
+
+type Injector struct{ p Profile }
+
+// hash mixes the configured seed with the decision coordinates (FNV-1a
+// over the key, SplitMix64 finisher) so replays are bit-identical.
+func (f *Injector) hash(kind int, key string, n int64) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(f.p.Seed) + uint64(kind)*0x9e3779b97f4a7c15 + uint64(n)*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func (f *Injector) chance(kind int, key string, n int64) float64 {
+	return float64(f.hash(kind, key, n)>>11) / (1 << 53)
+}
+`
+	wantClean(t, checkFixture(t, analysis.NondeterminismAnalyzer, "repro/internal/faults", src))
+}

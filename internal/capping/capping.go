@@ -158,6 +158,17 @@ func (c *Controller) Armed(node string) bool { return c.armed[node] }
 // (RAPL, DVFS, load shedding). Within one step, directives from different
 // nodes for the same instance are merged to the lowest target.
 func (c *Controller) Step(read Reader) ([]Throttle, []Event, error) {
+	return c.StepWithBudgets(read, nil)
+}
+
+// StepWithBudgets is Step with per-node budget overrides for this step
+// only. budget returns the effective budget for a node name (ok=false
+// falls back to the node's own Budget); nil means no overrides. The
+// emergency-degradation path uses it to model an injected breaker trip —
+// the tripped node runs on its backup feed at a fraction of nominal
+// capacity, so draws that were fine yesterday now arm its cap and shed —
+// without mutating the shared tree.
+func (c *Controller) StepWithBudgets(read Reader, budget func(node string) (float64, bool)) ([]Throttle, []Event, error) {
 	c.step++
 	var throttles []Throttle
 	var events []Event
@@ -189,7 +200,13 @@ func (c *Controller) Step(read Reader) ([]Throttle, []Event, error) {
 		for _, id := range ids {
 			draw += effective[id]
 		}
-		over := draw > nd.Budget
+		nodeBudget := nd.Budget
+		if budget != nil {
+			if b, ok := budget(nd.Name); ok {
+				nodeBudget = b
+			}
+		}
+		over := draw > nodeBudget
 		if over {
 			c.overCount[nd.Name]++
 		} else {
@@ -200,7 +217,7 @@ func (c *Controller) Step(read Reader) ([]Throttle, []Event, error) {
 		case !c.armed[nd.Name] && over && c.overCount[nd.Name] >= c.cfg.sustain():
 			c.armed[nd.Name] = true
 			events = append(events, Event{Node: nd.Name, Step: c.step, Armed: true})
-		case c.armed[nd.Name] && draw < nd.Budget*c.cfg.release():
+		case c.armed[nd.Name] && draw < nodeBudget*c.cfg.release():
 			c.armed[nd.Name] = false
 			events = append(events, Event{Node: nd.Name, Step: c.step, Armed: false})
 		}
@@ -209,7 +226,7 @@ func (c *Controller) Step(read Reader) ([]Throttle, []Event, error) {
 		}
 
 		// Shed down to the cap target, batch first, largest draw first.
-		target := nd.Budget * c.cfg.capTarget()
+		target := nodeBudget * c.cfg.capTarget()
 		need := draw - target
 		if need <= 0 {
 			continue

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/capping"
 	"repro/internal/detmap"
+	"repro/internal/faults"
 	"repro/internal/forecast"
 	"repro/internal/metrics"
 	"repro/internal/placement"
@@ -428,6 +430,20 @@ type DriftReport struct {
 	SumOfPeaks float64
 	// Swaps applied by remapping (empty if none were needed).
 	Swaps []placement.Swap
+
+	// Degradation context, filled by Runtime.Tick (zero for plain Adapt):
+	// Quarantined lists the instances scored from service reference traces
+	// because their own telemetry fell below the coverage floor.
+	Quarantined []string
+	// ActiveTrips are the injected breaker-trip windows overlapping the
+	// tick's telemetry window.
+	ActiveTrips []faults.TripWindow
+	// BreakerTrips are the violations found when breakers were re-checked
+	// at trip-reduced budgets.
+	BreakerTrips []powertree.BreakerTrip
+	// EmergencyThrottles are the shedding directives the emergency capping
+	// path issued this tick.
+	EmergencyThrottles []capping.Throttle
 }
 
 // Adapt monitors a placed tree against fresh traces and applies incremental

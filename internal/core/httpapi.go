@@ -11,16 +11,26 @@ import (
 )
 
 // HTTPHandler exposes a runtime's state over HTTP for dashboards and
-// debugging:
+// debugging. The API is versioned under /v1/:
 //
-//	GET /status   — placement summary: instance count, leaves, tick count
-//	GET /tree     — the placed power tree as JSON (powertree.Save format)
-//	GET /history  — drift reports from every tick
-//	GET /metrics  — the obs registry in Prometheus text format
-//	GET /healthz  — liveness
+//	GET /v1/health   — liveness plus degradation state: ok|degraded,
+//	                   quarantined instances, active trip windows,
+//	                   emergency-capped nodes
+//	GET /v1/status   — placement summary: instance count, leaves, tick count
+//	GET /v1/tree     — the placed power tree as JSON (powertree.Save format)
+//	GET /v1/history  — drift reports from every tick
+//	GET /v1/metrics  — the obs registry in Prometheus text format
 //
-// The handler is read-only; ingestion and ticking stay with the owner. Every
-// route answers GET only; other methods get 405 with an Allow header.
+// Errors are a uniform JSON envelope: {"error":{"code":..,"message":..}}.
+// Unknown paths get the envelope with code "not_found"; non-GET methods get
+// code "method_not_allowed" plus an Allow header.
+//
+// The pre-versioning paths (/healthz, /status, /tree, /history, /metrics)
+// remain as deprecated aliases: same behaviour, plus a "Deprecation: true"
+// header and a Link header naming the successor under /v1/. They will be
+// removed in a future major version; new clients should use /v1/.
+//
+// The handler is read-only; ingestion and ticking stay with the owner.
 //
 // The status timestamp comes from the injected clock; HTTPHandler is the
 // serving wrapper that pins it to the wall clock, which keeps the
@@ -49,56 +59,119 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 		errors: reg.Counter("smoothop_http_errors_total",
 			"HTTP API requests rejected or failed while encoding the response."),
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", api.get(func(w http.ResponseWriter, r *http.Request) {
+
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
-	}))
-	mux.HandleFunc("/status", api.get(func(w http.ResponseWriter, r *http.Request) {
-		tree := rt.Tree()
-		status := struct {
-			Placed    bool      `json:"placed"`
-			Instances int       `json:"instances"`
-			Leaves    int       `json:"leaves"`
-			Ticks     int       `json:"ticks"`
-			LastTick  *tickView `json:"last_tick,omitempty"`
-			Time      time.Time `json:"time"`
+	}
+	health := func(w http.ResponseWriter, r *http.Request) {
+		quarantined := rt.Quarantined()
+		emergency := rt.EmergencyNodes()
+		trips := rt.ActiveTrips()
+		view := struct {
+			Status      string     `json:"status"`
+			Placed      bool       `json:"placed"`
+			Quarantined []string   `json:"quarantined"`
+			ActiveTrips []tripView `json:"active_trips"`
+			Emergency   []string   `json:"emergency_nodes"`
+			Time        time.Time  `json:"time"`
 		}{
-			Placed:    rt.placed,
-			Instances: tree.InstanceCount(),
-			Leaves:    len(tree.Leaves()),
-			Ticks:     len(rt.history),
-			Time:      now().UTC(),
+			Status:      "ok",
+			Placed:      rt.placed,
+			Quarantined: quarantined,
+			ActiveTrips: make([]tripView, 0, len(trips)),
+			Emergency:   emergency,
+			Time:        now().UTC(),
+		}
+		if len(quarantined) > 0 || len(emergency) > 0 || len(trips) > 0 {
+			view.Status = "degraded"
+		}
+		for _, tp := range trips {
+			view.ActiveTrips = append(view.ActiveTrips, tripView{
+				Node:           tp.Node,
+				Start:          tp.Start.UTC(),
+				Until:          tp.Start.Add(tp.Duration).UTC(),
+				BudgetFraction: tp.Budget(),
+			})
+		}
+		api.writeJSON(w, view)
+	}
+	status := func(w http.ResponseWriter, r *http.Request) {
+		tree := rt.Tree()
+		view := struct {
+			Placed      bool      `json:"placed"`
+			Instances   int       `json:"instances"`
+			Leaves      int       `json:"leaves"`
+			Ticks       int       `json:"ticks"`
+			Quarantined int       `json:"quarantined"`
+			LastTick    *tickView `json:"last_tick,omitempty"`
+			Time        time.Time `json:"time"`
+		}{
+			Placed:      rt.placed,
+			Instances:   tree.InstanceCount(),
+			Leaves:      len(tree.Leaves()),
+			Ticks:       len(rt.history),
+			Quarantined: len(rt.quarantined),
+			Time:        now().UTC(),
 		}
 		if n := len(rt.history); n > 0 {
-			status.LastTick = newTickView(rt.history[n-1])
+			view.LastTick = newTickView(rt.history[n-1])
 		}
-		api.writeJSON(w, status)
-	}))
-	mux.HandleFunc("/tree", api.get(func(w http.ResponseWriter, r *http.Request) {
+		api.writeJSON(w, view)
+	}
+	treeH := func(w http.ResponseWriter, r *http.Request) {
 		// Render into a buffer first: writing the response body before a
 		// failure would lock in a 200 status with truncated JSON.
 		var buf bytes.Buffer
 		if err := rt.Tree().Save(&buf); err != nil {
-			api.errors.Inc()
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			api.writeError(w, http.StatusInternalServerError, "internal", err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(buf.Bytes())
-	}))
-	mux.HandleFunc("/history", api.get(func(w http.ResponseWriter, r *http.Request) {
+	}
+	history := func(w http.ResponseWriter, r *http.Request) {
 		views := make([]*tickView, len(rt.history))
 		for i, rep := range rt.history {
 			views[i] = newTickView(rep)
 		}
 		api.writeJSON(w, views)
-	}))
-	mux.HandleFunc("/metrics", api.get(func(w http.ResponseWriter, r *http.Request) {
+	}
+	metrics := func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", obs.ContentType)
 		_ = reg.WriteProm(w)
-	}))
+	}
+
+	mux := http.NewServeMux()
+	// The versioned API.
+	mux.HandleFunc("/v1/health", api.get(health))
+	mux.HandleFunc("/v1/status", api.get(status))
+	mux.HandleFunc("/v1/tree", api.get(treeH))
+	mux.HandleFunc("/v1/history", api.get(history))
+	mux.HandleFunc("/v1/metrics", api.get(metrics))
+	// Deprecated pre-versioning aliases: identical behaviour plus
+	// deprecation headers pointing at the successor route.
+	mux.HandleFunc("/healthz", api.get(deprecated("/v1/health", healthz)))
+	mux.HandleFunc("/status", api.get(deprecated("/v1/status", status)))
+	mux.HandleFunc("/tree", api.get(deprecated("/v1/tree", treeH)))
+	mux.HandleFunc("/history", api.get(deprecated("/v1/history", history)))
+	mux.HandleFunc("/metrics", api.get(deprecated("/v1/metrics", metrics)))
+	// Everything else: the error envelope, not the mux's plain-text 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		api.requests.Inc()
+		api.writeError(w, http.StatusNotFound, "not_found", "unknown path "+r.URL.Path)
+	})
 	return mux
+}
+
+// deprecated marks a legacy route with the standard deprecation headers and
+// its /v1/ successor before delegating.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // httpAPI bundles the runtime with the API's own instrumentation.
@@ -114,12 +187,36 @@ func (a *httpAPI) get(h http.HandlerFunc) http.HandlerFunc {
 		a.requests.Inc()
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", http.MethodGet)
-			a.errors.Inc()
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			a.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				r.Method+" is not allowed; use GET")
 			return
 		}
 		h(w, r)
 	}
+}
+
+// errorEnvelope is the uniform wire form of every API error.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeError emits the JSON error envelope and counts the failure.
+func (a *httpAPI) writeError(w http.ResponseWriter, status int, code, message string) {
+	a.errors.Inc()
+	var env errorEnvelope
+	env.Error.Code = code
+	env.Error.Message = message
+	body, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		http.Error(w, message, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
 }
 
 // writeJSON encodes v into a buffer before touching the response, so an
@@ -130,29 +227,42 @@ func (a *httpAPI) writeJSON(w http.ResponseWriter, v interface{}) {
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		a.errors.Inc()
-		http.Error(w, "encoding response failed", http.StatusInternalServerError)
+		a.writeError(w, http.StatusInternalServerError, "internal", "encoding response failed")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(buf.Bytes())
 }
 
+// tripView is the wire form of an injected breaker-trip window.
+type tripView struct {
+	Node           string    `json:"node"`
+	Start          time.Time `json:"start"`
+	Until          time.Time `json:"until"`
+	BudgetFraction float64   `json:"budget_fraction"`
+}
+
 // tickView is the wire form of a DriftReport.
 type tickView struct {
-	WorstNode  string   `json:"worst_node"`
-	WorstScore float64  `json:"worst_score"`
-	SumOfPeaks float64  `json:"sum_of_peaks"`
-	Swaps      int      `json:"swaps"`
-	SwappedIDs []string `json:"swapped_ids,omitempty"`
+	WorstNode          string   `json:"worst_node"`
+	WorstScore         float64  `json:"worst_score"`
+	SumOfPeaks         float64  `json:"sum_of_peaks"`
+	Swaps              int      `json:"swaps"`
+	SwappedIDs         []string `json:"swapped_ids,omitempty"`
+	Quarantined        []string `json:"quarantined,omitempty"`
+	BreakerTrips       int      `json:"breaker_trips,omitempty"`
+	EmergencyThrottles int      `json:"emergency_throttles,omitempty"`
 }
 
 func newTickView(rep *DriftReport) *tickView {
 	v := &tickView{
-		WorstNode:  rep.WorstNode,
-		WorstScore: rep.WorstScore,
-		SumOfPeaks: rep.SumOfPeaks,
-		Swaps:      len(rep.Swaps),
+		WorstNode:          rep.WorstNode,
+		WorstScore:         rep.WorstScore,
+		SumOfPeaks:         rep.SumOfPeaks,
+		Swaps:              len(rep.Swaps),
+		Quarantined:        rep.Quarantined,
+		BreakerTrips:       len(rep.BreakerTrips),
+		EmergencyThrottles: len(rep.EmergencyThrottles),
 	}
 	for _, sw := range rep.Swaps {
 		v.SwappedIDs = append(v.SwappedIDs, sw.InstanceA, sw.InstanceB)

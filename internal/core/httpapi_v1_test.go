@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPV1RoutesAndLegacyAliases checks the versioned API contract: every
+// /v1/ route serves without deprecation headers, every legacy alias serves
+// the same status with Deprecation plus a successor Link, and errors come
+// back in the uniform JSON envelope.
+func TestHTTPV1RoutesAndLegacyAliases(t *testing.T) {
+	srv, _ := metricsFixture(t)
+	client := srv.Client()
+
+	pairs := []struct{ v1, legacy string }{
+		{"/v1/health", "/healthz"},
+		{"/v1/status", "/status"},
+		{"/v1/tree", "/tree"},
+		{"/v1/history", "/history"},
+		{"/v1/metrics", "/metrics"},
+	}
+	for _, p := range pairs {
+		v1Resp, err := client.Get(srv.URL + p.v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1Resp.Body.Close()
+		if v1Resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", p.v1, v1Resp.StatusCode)
+		}
+		if got := v1Resp.Header.Get("Deprecation"); got != "" {
+			t.Errorf("GET %s carries Deprecation %q; versioned routes must not", p.v1, got)
+		}
+
+		legResp, err := client.Get(srv.URL + p.legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legResp.Body.Close()
+		if legResp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", p.legacy, legResp.StatusCode)
+		}
+		if got := legResp.Header.Get("Deprecation"); got != "true" {
+			t.Errorf("GET %s Deprecation = %q, want true", p.legacy, got)
+		}
+		wantLink := "<" + p.v1 + `>; rel="successor-version"`
+		if got := legResp.Header.Get("Link"); got != wantLink {
+			t.Errorf("GET %s Link = %q, want %q", p.legacy, got, wantLink)
+		}
+	}
+}
+
+func decodeEnvelope(t *testing.T, resp *http.Response) (code, message string) {
+	t.Helper()
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type = %q, want application/json (body %q)", ct, body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not the envelope: %v (body %q)", err, body)
+	}
+	return env.Error.Code, env.Error.Message
+}
+
+func TestHTTPErrorEnvelope(t *testing.T) {
+	srv, reg := metricsFixture(t)
+	client := srv.Client()
+
+	// Unknown path → 404 envelope.
+	resp, err := client.Get(srv.URL + "/v2/doesnotexist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+	if code, msg := decodeEnvelope(t, resp); code != "not_found" || !strings.Contains(msg, "/v2/doesnotexist") {
+		t.Fatalf("404 envelope = %q %q", code, msg)
+	}
+
+	// Wrong method → 405 envelope with Allow, on both route families.
+	for _, path := range []string{"/v1/status", "/status"} {
+		resp, err := client.Post(srv.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s status = %d, want 405", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != http.MethodGet {
+			t.Fatalf("POST %s Allow = %q, want GET", path, got)
+		}
+		if code, _ := decodeEnvelope(t, resp); code != "method_not_allowed" {
+			t.Fatalf("POST %s envelope code = %q", path, code)
+		}
+	}
+
+	if got := reg.Counter("smoothop_http_errors_total", "").Value(); got != 3 {
+		t.Errorf("error counter = %d, want 3", got)
+	}
+}
+
+// TestHTTPV1HealthDegradation drives the runtime into a degraded state and
+// checks /v1/health reports it.
+func TestHTTPV1HealthDegradation(t *testing.T) {
+	rt, instances, trainEnd := degradeFixture(t, RuntimeConfig{}, 500, 3, map[string]bool{"d": true})
+	clock := func() time.Time { return time.Date(2016, 8, 22, 0, 0, 0, 0, time.UTC) }
+	srv := httptest.NewServer(HTTPHandlerWithClock(rt, clock))
+	defer srv.Close()
+
+	getHealth := func() (status string, quarantined []string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/v1/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			Status      string   `json:"status"`
+			Quarantined []string `json:"quarantined"`
+		}
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatalf("%v (body %q)", err, body)
+		}
+		return view.Status, view.Quarantined
+	}
+
+	if status, _ := getHealth(); status != "ok" {
+		t.Fatalf("pre-bootstrap health = %q, want ok", status)
+	}
+	if err := rt.Bootstrap(instances, trainEnd, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Tick(trainEnd.Add(dWeek), 0); err != nil {
+		t.Fatal(err)
+	}
+	status, quarantined := getHealth()
+	if status != "degraded" {
+		t.Fatalf("health after dark week = %q, want degraded", status)
+	}
+	if len(quarantined) != 1 || quarantined[0] != "d" {
+		t.Fatalf("health quarantined = %v, want [d]", quarantined)
+	}
+}

@@ -14,4 +14,18 @@ var (
 		"Swaps applied by drift-monitor ticks.")
 	obsTickSpan = obs.Default().Span("smoothop_runtime_tick_seconds",
 		"Wall time of one drift-monitor tick.")
+
+	// Degradation metrics: quarantine, fallback scoring, ingest retries and
+	// the emergency capping path. All are updated from the serial
+	// Ingest/Bootstrap/Tick entry points, so replays reproduce them exactly.
+	obsIngestRetries = obs.Default().Counter("smoothop_runtime_ingest_retries_total",
+		"Ingest retries after transient store failures.")
+	obsQuarantined = obs.Default().Gauge("smoothop_runtime_quarantined_instances",
+		"Instances currently scored from reference traces (below the coverage floor).")
+	obsFallbackTraces = obs.Default().Counter("smoothop_runtime_fallback_traces_total",
+		"Service reference traces substituted for quarantined instances.")
+	obsBreakerTrips = obs.Default().Counter("smoothop_runtime_breaker_trips_total",
+		"Breaker violations found at trip-reduced budgets.")
+	obsEmergencyThrottles = obs.Default().Counter("smoothop_runtime_emergency_throttles_total",
+		"Shedding directives issued by the emergency capping path.")
 )

@@ -3,12 +3,17 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
+	"repro/internal/capping"
+	"repro/internal/detmap"
+	"repro/internal/faults"
 	"repro/internal/placement"
 	"repro/internal/powertree"
 	"repro/internal/timeseries"
 	"repro/internal/tracestore"
+	"repro/internal/workload"
 )
 
 // Runtime is SmoothOperator operated as a continuously-running service
@@ -16,6 +21,14 @@ import (
 // workload-aware placement is bootstrapped from collected history, and a
 // periodic tick re-evaluates fragmentation on fresh data, remapping
 // incrementally when drift appears.
+//
+// The runtime degrades gracefully instead of failing when telemetry turns
+// bad: traces are graded (tracestore.Quality), instances whose raw coverage
+// falls below the quarantine floor are scored from a service-level reference
+// trace instead of their own repaired trace, transient store errors are
+// retried with bounded backoff, and breaker violations during injected trip
+// windows escalate into an emergency capping throttle that releases when the
+// trip clears.
 type Runtime struct {
 	fw    *Framework
 	store *tracestore.Store
@@ -25,6 +38,31 @@ type Runtime struct {
 	// below it; maxSwaps bounds each repair.
 	scoreFloor float64
 	maxSwaps   int
+	// minCoverage is the quarantine floor on raw trace coverage.
+	minCoverage float64
+	// retries bounds ingest retries on transient store errors; backoff is
+	// the first retry's wait (doubling each attempt).
+	retries int
+	backoff time.Duration
+
+	// faults, when set, perturbs every reading on its way into the store.
+	faults *faults.Injector
+	// capper is the emergency throttle runtime; created at Bootstrap when
+	// fault injection is configured.
+	capper *capping.Controller
+	// sleep is injectable so tests don't wait out real backoff.
+	sleep func(time.Duration)
+
+	// services maps instance → service, learned at Bootstrap; it names the
+	// reference-trace pool a quarantined instance falls back to.
+	services map[string]string
+	// quality and quarantined reflect the most recent Bootstrap or Tick.
+	quality     map[string]tracestore.Quality
+	quarantined []string
+	// emergency tracks nodes currently under an emergency cap; lastTrips is
+	// the injected trip windows seen by the latest tick.
+	emergency map[string]bool
+	lastTrips []faults.TripWindow
 
 	placed  bool
 	history []*DriftReport
@@ -33,16 +71,39 @@ type Runtime struct {
 // RuntimeConfig tunes the runtime.
 type RuntimeConfig struct {
 	// ScoreFloor is the leaf asynchrony score below which the monitor
-	// remaps. 0 means 1.2.
+	// remaps. 0 means 1.2; negative is rejected with ErrBadScoreFloor.
 	ScoreFloor float64
-	// MaxSwapsPerTick bounds each incremental repair. 0 means 32.
+	// MaxSwapsPerTick bounds each incremental repair. 0 means 32; negative
+	// is rejected with ErrBadMaxSwaps.
 	MaxSwapsPerTick int
+	// MinCoverage is the raw-coverage fraction below which an instance is
+	// quarantined and scored from its service's reference trace. 0 means
+	// 0.5 (the tracestore GradePoor threshold); values outside [0, 1) are
+	// rejected with ErrBadMinCoverage.
+	MinCoverage float64
+	// IngestRetries is how many times a transient store failure
+	// (tracestore.ErrTransient) is retried before Ingest gives up. 0 means
+	// 3; negative is rejected with ErrBadRetries.
+	IngestRetries int
+	// RetryBackoff is the wait before the first ingest retry, doubling each
+	// attempt. 0 means no wait (right for the in-memory store); negative is
+	// rejected with ErrBadRetries.
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects telemetry and infrastructure faults
+	// into the runtime: readings pass through the injector on Ingest, and
+	// its trip windows drive the emergency capping path at Tick.
+	Faults *faults.Injector
 }
 
 // Errors returned by the runtime.
 var (
-	ErrNotPlaced     = errors.New("core: runtime has no placement yet (call Bootstrap)")
-	ErrAlreadyPlaced = errors.New("core: runtime already bootstrapped")
+	ErrNotPlaced      = errors.New("core: runtime has no placement yet (call Bootstrap)")
+	ErrAlreadyPlaced  = errors.New("core: runtime already bootstrapped")
+	ErrBadScoreFloor  = errors.New("core: ScoreFloor must not be negative")
+	ErrBadMaxSwaps    = errors.New("core: MaxSwapsPerTick must not be negative")
+	ErrBadMinCoverage = errors.New("core: MinCoverage must be in [0, 1)")
+	ErrBadRetries     = errors.New("core: ingest retry settings must not be negative")
+	ErrAllQuarantined = errors.New("core: every instance quarantined — no healthy trace to reference")
 )
 
 // NewRuntime assembles a runtime around a framework, a telemetry store and
@@ -54,24 +115,105 @@ func NewRuntime(fw *Framework, store *tracestore.Store, tree *powertree.Node, cf
 	if tree.InstanceCount() != 0 {
 		return nil, errors.New("core: runtime tree must start empty")
 	}
+	if cfg.ScoreFloor < 0 {
+		return nil, fmt.Errorf("%w: got %v", ErrBadScoreFloor, cfg.ScoreFloor)
+	}
+	if cfg.MaxSwapsPerTick < 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadMaxSwaps, cfg.MaxSwapsPerTick)
+	}
+	if cfg.MinCoverage < 0 || cfg.MinCoverage >= 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrBadMinCoverage, cfg.MinCoverage)
+	}
+	if cfg.IngestRetries < 0 {
+		return nil, fmt.Errorf("%w: IngestRetries %d", ErrBadRetries, cfg.IngestRetries)
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("%w: RetryBackoff %v", ErrBadRetries, cfg.RetryBackoff)
+	}
 	floor := cfg.ScoreFloor
-	if floor <= 0 {
+	if floor == 0 {
 		floor = 1.2
 	}
 	swaps := cfg.MaxSwapsPerTick
-	if swaps <= 0 {
+	if swaps == 0 {
 		swaps = 32
 	}
-	return &Runtime{fw: fw, store: store, tree: tree, scoreFloor: floor, maxSwaps: swaps}, nil
+	minCov := cfg.MinCoverage
+	if minCov == 0 {
+		minCov = 0.5
+	}
+	retries := cfg.IngestRetries
+	if retries == 0 {
+		retries = 3
+	}
+	return &Runtime{
+		fw: fw, store: store, tree: tree,
+		scoreFloor: floor, maxSwaps: swaps,
+		minCoverage: minCov, retries: retries, backoff: cfg.RetryBackoff,
+		faults:    cfg.Faults,
+		sleep:     time.Sleep,
+		services:  make(map[string]string),
+		quality:   make(map[string]tracestore.Quality),
+		emergency: make(map[string]bool),
+	}, nil
 }
 
-// Ingest forwards one power reading into the store.
+// Ingest forwards one power reading into the store. With fault injection
+// configured the reading first passes through the injector — it may be
+// dropped, corrupted, skewed or delayed — and whatever the injector delivers
+// is appended. Transient store failures are retried up to the configured
+// bound with doubling backoff before surfacing.
 func (r *Runtime) Ingest(id string, at time.Time, watts float64) error {
-	if err := r.store.Append(id, at, watts); err != nil {
-		return err
+	if r.faults == nil {
+		return r.appendWithRetry(id, at, watts)
 	}
-	obsIngestSamples.Inc()
+	for _, rd := range r.faults.Feed(id, at, watts) {
+		if err := r.appendWithRetry(rd.ID, rd.At, rd.Watts); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// FlushFaults drains the injector's reorder buffer into the store — call it
+// once at the end of a replay so delayed readings are not lost. Without
+// fault injection it is a no-op.
+func (r *Runtime) FlushFaults() error {
+	if r.faults == nil {
+		return nil
+	}
+	for _, rd := range r.faults.Flush() {
+		if err := r.appendWithRetry(rd.ID, rd.At, rd.Watts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runtime) appendWithRetry(id string, at time.Time, watts float64) error {
+	wait := r.backoff
+	for attempt := 0; ; attempt++ {
+		err := r.storeAppend(id, at, watts, attempt)
+		if err == nil {
+			obsIngestSamples.Inc()
+			return nil
+		}
+		if !errors.Is(err, tracestore.ErrTransient) || attempt >= r.retries {
+			return err
+		}
+		obsIngestRetries.Inc()
+		if wait > 0 {
+			r.sleep(wait)
+			wait *= 2
+		}
+	}
+}
+
+func (r *Runtime) storeAppend(id string, at time.Time, watts float64, attempt int) error {
+	if r.faults != nil && r.faults.TransientAppendFailure(id, at, attempt) {
+		return fmt.Errorf("core: ingesting %q at %v: %w", id, at, tracestore.ErrTransient)
+	}
+	return r.store.Append(id, at, watts)
 }
 
 // Tree exposes the current (placed) tree for inspection.
@@ -80,8 +222,36 @@ func (r *Runtime) Tree() *powertree.Node { return r.tree }
 // History returns the drift reports of every tick so far.
 func (r *Runtime) History() []*DriftReport { return r.history }
 
+// Quarantined returns the instances the latest Bootstrap or Tick scored
+// from reference traces instead of their own telemetry, sorted.
+func (r *Runtime) Quarantined() []string {
+	return append([]string(nil), r.quarantined...)
+}
+
+// InstanceQuality reports the trace quality the latest Bootstrap or Tick
+// observed for an instance.
+func (r *Runtime) InstanceQuality(id string) (tracestore.Quality, bool) {
+	q, ok := r.quality[id]
+	return q, ok
+}
+
+// ActiveTrips returns the injected breaker-trip windows that overlapped the
+// latest tick's window.
+func (r *Runtime) ActiveTrips() []faults.TripWindow {
+	return append([]faults.TripWindow(nil), r.lastTrips...)
+}
+
+// EmergencyNodes returns the nodes currently held under an emergency cap,
+// sorted.
+func (r *Runtime) EmergencyNodes() []string {
+	return detmap.SortedKeys(r.emergency)
+}
+
 // Bootstrap computes averaged I-traces from the store's history ending at
 // asOf and places the given instances workload-aware. It can only run once.
+// Instances whose history is missing or below the quarantine floor are
+// placed using their service's reference trace (the mean of healthy peers)
+// rather than failing the whole placement.
 func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trainWeeks int) error {
 	if r.placed {
 		return ErrAlreadyPlaced
@@ -89,13 +259,35 @@ func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trai
 	if trainWeeks < 1 {
 		trainWeeks = r.fw.cfg.trainWeeks()
 	}
-	avg := make(map[string]timeseries.Series, len(instances))
 	for _, inst := range instances {
-		tr, err := r.store.AveragedITrace(inst.ID, asOf, trainWeeks)
+		r.services[inst.ID] = inst.Service
+	}
+	avg := make(map[string]timeseries.Series, len(instances))
+	quality := make(map[string]tracestore.Quality, len(instances))
+	var quarantined []string
+	byService := make(map[string][]timeseries.Series)
+	var healthy []timeseries.Series
+	for _, inst := range instances {
+		tr, q, err := r.store.AveragedITraceQuality(inst.ID, asOf, trainWeeks)
+		if errors.Is(err, tracestore.ErrUnknownInstance) {
+			// Never reported at all (e.g. a whole-window dropout): treat as
+			// an empty window rather than failing the placement.
+			q, err = tracestore.Quality{Grade: tracestore.GradeNoData}, nil
+		}
 		if err != nil {
 			return fmt.Errorf("core: bootstrap trace for %q: %w", inst.ID, err)
 		}
+		quality[inst.ID] = q
+		if q.Grade == tracestore.GradeNoData || q.Coverage < r.minCoverage {
+			quarantined = append(quarantined, inst.ID)
+			continue
+		}
 		avg[inst.ID] = tr
+		byService[inst.Service] = append(byService[inst.Service], tr)
+		healthy = append(healthy, tr)
+	}
+	if err := r.fillReferences(avg, quarantined, byService, healthy); err != nil {
+		return fmt.Errorf("core: bootstrap: %w", err)
 	}
 	placer := placement.WorkloadAware{
 		TopServices:      r.fw.cfg.topServices(),
@@ -109,13 +301,98 @@ func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trai
 	if err := placer.Place(r.tree, instances, lookup); err != nil {
 		return fmt.Errorf("core: bootstrap placement: %w", err)
 	}
+	r.quality = quality
+	r.quarantined = quarantined
+	obsQuarantined.Set(float64(len(quarantined)))
+	if r.faults != nil {
+		capper, err := capping.New(r.tree, capping.Config{SustainSteps: 1})
+		if err != nil {
+			return err
+		}
+		r.capper = capper
+	}
 	r.placed = true
 	return nil
+}
+
+// fillReferences gives every quarantined instance a reference trace: the
+// mean of its service's healthy peers, falling back to the fleet-wide mean
+// when the whole service is dark. No healthy trace anywhere is
+// ErrAllQuarantined.
+func (r *Runtime) fillReferences(dst map[string]timeseries.Series, quarantined []string, byService map[string][]timeseries.Series, healthy []timeseries.Series) error {
+	for _, id := range quarantined {
+		ref, ok := meanSeries(byService[r.services[id]])
+		if !ok {
+			ref, ok = meanSeries(healthy)
+		}
+		if !ok {
+			return ErrAllQuarantined
+		}
+		dst[id] = ref
+		obsFallbackTraces.Inc()
+	}
+	return nil
+}
+
+// despike rejects single-slot impulses from a materialised trace: a sample
+// more than twice the larger of its two neighbours is a sensor glitch, not
+// workload — genuine power peaks are broad at the store's sampling rates —
+// and is clamped to that neighbour. The filter is the identity on clean
+// traces (no smooth signal doubles in one slot), so scoring clean and
+// faulted telemetry stays comparable.
+func despike(tr timeseries.Series) timeseries.Series {
+	v := tr.Values
+	if len(v) < 3 {
+		return tr
+	}
+	cleaned := append([]float64(nil), v...)
+	for i := range v {
+		var m float64
+		switch i {
+		case 0:
+			m = v[1]
+		case len(v) - 1:
+			m = v[len(v)-2]
+		default:
+			m = math.Max(v[i-1], v[i+1])
+		}
+		if cleaned[i] > 2*m {
+			cleaned[i] = m
+		}
+	}
+	return timeseries.New(tr.Start, tr.Step, cleaned)
+}
+
+// meanSeries folds same-shaped traces into their pointwise mean.
+func meanSeries(traces []timeseries.Series) (timeseries.Series, bool) {
+	if len(traces) == 0 {
+		return timeseries.Series{}, false
+	}
+	n := traces[0].Len()
+	vals := make([]float64, n)
+	for _, tr := range traces {
+		if tr.Len() != n {
+			return timeseries.Series{}, false
+		}
+		for i, v := range tr.Values {
+			vals[i] += v
+		}
+	}
+	for i := range vals {
+		vals[i] /= float64(len(traces))
+	}
+	return timeseries.New(traces[0].Start, traces[0].Step, vals), true
 }
 
 // Tick evaluates the placement against the telemetry window [asOf−window,
 // asOf) and remaps if fragmentation re-appeared. The resulting drift report
 // is appended to the history and returned.
+//
+// Degradation semantics: every instance's window is graded, instances below
+// the quarantine floor are scored from their service's reference trace, and
+// when injected breaker-trip windows overlap the tick the tree's breakers
+// are re-checked at the reduced budgets — violations escalate into an
+// emergency capping throttle that releases once the trip clears.
 func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, error) {
 	if !r.placed {
 		return nil, ErrNotPlaced
@@ -124,21 +401,143 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 	if window <= 0 {
 		window = 7 * 24 * time.Hour
 	}
+	from := asOf.Add(-window)
 	fresh := make(map[string]timeseries.Series)
+	quality := make(map[string]tracestore.Quality)
+	var quarantined []string
+	byService := make(map[string][]timeseries.Series)
+	var healthy []timeseries.Series
 	for _, id := range r.tree.AllInstances() {
-		tr, err := r.store.Snapshot(id, asOf.Add(-window), asOf)
+		tr, q, err := r.store.SnapshotQuality(id, from, asOf)
 		if err != nil {
 			return nil, fmt.Errorf("core: tick snapshot for %q: %w", id, err)
 		}
+		quality[id] = q
+		if q.Grade == tracestore.GradeNoData || q.Coverage < r.minCoverage {
+			quarantined = append(quarantined, id)
+			continue
+		}
+		tr = despike(tr)
 		fresh[id] = tr
+		byService[r.services[id]] = append(byService[r.services[id]], tr)
+		healthy = append(healthy, tr)
+	}
+	if err := r.fillReferences(fresh, quarantined, byService, healthy); err != nil {
+		return nil, fmt.Errorf("core: tick: %w", err)
 	}
 	rep, err := r.fw.Adapt(r.tree, fresh, r.scoreFloor, r.maxSwaps)
 	if err != nil {
 		return nil, err
 	}
+	rep.Quarantined = quarantined
+	r.quality = quality
+	r.quarantined = quarantined
+	obsQuarantined.Set(float64(len(quarantined)))
+
+	if err := r.emergencyStep(rep, from, asOf, fresh); err != nil {
+		return nil, err
+	}
+
 	r.history = append(r.history, rep)
 	obsTicks.Inc()
 	obsTickSwaps.Add(uint64(len(rep.Swaps)))
 	timer.End()
 	return rep, nil
+}
+
+// emergencyStep runs the injected-trip escalation path: check breakers at
+// trip-reduced budgets and drive the capping controller. It fills the
+// report's ActiveTrips, BreakerTrips and EmergencyThrottles.
+func (r *Runtime) emergencyStep(rep *DriftReport, from, asOf time.Time, fresh map[string]timeseries.Series) error {
+	if r.faults == nil || r.capper == nil {
+		r.lastTrips = nil
+		return nil
+	}
+	trips := r.faults.TripsOverlapping(from, asOf)
+	r.lastTrips = trips
+	rep.ActiveTrips = trips
+
+	// The lowest backup-feed fraction wins when windows overlap on a node.
+	factor := make(map[string]float64)
+	for _, tp := range trips {
+		if f, ok := factor[tp.Node]; !ok || tp.Budget() < f {
+			factor[tp.Node] = tp.Budget()
+		}
+	}
+	if len(factor) > 0 {
+		breakerTrips, err := r.breakersUnder(factor, fresh)
+		if err != nil {
+			return err
+		}
+		rep.BreakerTrips = breakerTrips
+		obsBreakerTrips.Add(uint64(len(breakerTrips)))
+	}
+
+	// Step the capper when budgets are reduced, or when a previous tick left
+	// caps armed and the trip has since cleared (so they can release).
+	if len(factor) == 0 && len(r.emergency) == 0 {
+		return nil
+	}
+	nominal := make(map[string]float64)
+	r.tree.Walk(func(n *powertree.Node) {
+		if _, ok := factor[n.Name]; ok {
+			nominal[n.Name] = n.Budget
+		}
+	})
+	var override func(node string) (float64, bool)
+	if len(factor) > 0 {
+		override = func(node string) (float64, bool) {
+			f, ok := factor[node]
+			if !ok {
+				return 0, false
+			}
+			return nominal[node] * f, true
+		}
+	}
+	throttles, events, err := r.capper.StepWithBudgets(peakReader(fresh), override)
+	if err != nil {
+		return err
+	}
+	rep.EmergencyThrottles = throttles
+	obsEmergencyThrottles.Add(uint64(len(throttles)))
+	for _, ev := range events {
+		if ev.Armed {
+			r.emergency[ev.Node] = true
+		} else {
+			delete(r.emergency, ev.Node)
+		}
+	}
+	return nil
+}
+
+// breakersUnder re-checks the tree's breakers with tripped nodes scaled to
+// their backup-feed budgets, restoring the nominal budgets afterwards.
+func (r *Runtime) breakersUnder(factor map[string]float64, fresh map[string]timeseries.Series) ([]powertree.BreakerTrip, error) {
+	saved := make(map[string]float64, len(factor))
+	r.tree.Walk(func(n *powertree.Node) {
+		if f, ok := factor[n.Name]; ok {
+			saved[n.Name] = n.Budget
+			n.Budget *= f
+		}
+	})
+	defer r.tree.Walk(func(n *powertree.Node) {
+		if b, ok := saved[n.Name]; ok {
+			n.Budget = b
+		}
+	})
+	return r.tree.CheckBreakers(powertree.PowerFn(workload.SubPowerFn(fresh)), 2*r.store.Step())
+}
+
+// peakReader views a window's traces as capping state: an instance draws
+// its window peak and can be throttled to half of it; everything is
+// backend-class (the runtime has no workload-class channel yet).
+func peakReader(fresh map[string]timeseries.Series) capping.Reader {
+	return func(id string) (capping.InstanceState, bool) {
+		tr, ok := fresh[id]
+		if !ok || tr.Len() == 0 {
+			return capping.InstanceState{}, false
+		}
+		p := tr.Peak()
+		return capping.InstanceState{Power: p, MinPower: 0.5 * p, Priority: capping.PriorityBackend}, true
+	}
 }

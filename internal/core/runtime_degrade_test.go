@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/placement"
+	"repro/internal/powertree"
+	"repro/internal/tracestore"
+)
+
+var dEpoch = time.Date(2016, 8, 1, 0, 0, 0, 0, time.UTC)
+
+const dWeek = 7 * 24 * time.Hour
+
+func TestRuntimeConfigValidation(t *testing.T) {
+	fw := New(Config{})
+	store := tracestore.New(tracestore.Config{})
+	mkTree := func() *powertree.Node {
+		tree, err := powertree.Build(powertree.TopologySpec{
+			Name: "v", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2, LeafBudget: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+	cases := []struct {
+		name string
+		cfg  RuntimeConfig
+		want error
+	}{
+		{"negative score floor", RuntimeConfig{ScoreFloor: -0.1}, ErrBadScoreFloor},
+		{"negative max swaps", RuntimeConfig{MaxSwapsPerTick: -1}, ErrBadMaxSwaps},
+		{"negative min coverage", RuntimeConfig{MinCoverage: -0.2}, ErrBadMinCoverage},
+		{"min coverage one", RuntimeConfig{MinCoverage: 1}, ErrBadMinCoverage},
+		{"negative retries", RuntimeConfig{IngestRetries: -2}, ErrBadRetries},
+		{"negative backoff", RuntimeConfig{RetryBackoff: -time.Second}, ErrBadRetries},
+		{"all defaults", RuntimeConfig{}, nil},
+		{"explicit values", RuntimeConfig{ScoreFloor: 1.5, MaxSwapsPerTick: 8, MinCoverage: 0.7, IngestRetries: 5, RetryBackoff: time.Millisecond}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, err := NewRuntime(fw, store, mkTree(), tc.cfg)
+			if tc.want != nil {
+				if !errors.Is(err, tc.want) {
+					t.Fatalf("err = %v, want %v", err, tc.want)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt.scoreFloor <= 0 || rt.maxSwaps <= 0 || rt.minCoverage <= 0 || rt.retries <= 0 {
+				t.Fatalf("defaults not applied: %+v", rt)
+			}
+		})
+	}
+}
+
+// degradeFixture builds a 2-leaf tree with four instances on synthetic
+// sinusoidal traces and streams `weeks` weeks into the runtime via Ingest
+// (so fault injection applies), skipping instances named in dark for the
+// final week.
+func degradeFixture(t *testing.T, cfg RuntimeConfig, leafBudget float64, weeks int, dark map[string]bool) (*Runtime, []placement.Instance, time.Time) {
+	t.Helper()
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "d", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2, LeafBudget: leafBudget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := tracestore.New(tracestore.Config{Step: time.Hour, Retention: time.Duration(weeks+1) * dWeek})
+	rt, err := NewRuntime(New(Config{TopServices: 2, Seed: 1}), store, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := []placement.Instance{
+		{ID: "a", Service: "web"}, {ID: "b", Service: "web"},
+		{ID: "c", Service: "db"}, {ID: "d", Service: "db"},
+	}
+	steps := weeks * 168
+	for idx, inst := range instances {
+		phase := float64(idx) * math.Pi / 3
+		for s := 0; s < steps; s++ {
+			at := dEpoch.Add(time.Duration(s) * time.Hour)
+			if dark[inst.ID] && s >= (weeks-1)*168 {
+				continue
+			}
+			w := 80 + 40*math.Sin(2*math.Pi*float64(s%168)/168+phase)
+			if err := rt.Ingest(inst.ID, at, w); err != nil {
+				t.Fatalf("ingest %s at %v: %v", inst.ID, at, err)
+			}
+		}
+	}
+	return rt, instances, dEpoch.Add(2 * dWeek)
+}
+
+func TestTickQuarantineAndFallback(t *testing.T) {
+	// Three weeks of data; instance d goes dark for the final (test) week.
+	rt, instances, trainEnd := degradeFixture(t, RuntimeConfig{}, 500, 3, map[string]bool{"d": true})
+	if err := rt.Bootstrap(instances, trainEnd, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rt.Quarantined()); n != 0 {
+		t.Fatalf("bootstrap quarantined %d instances on full history", n)
+	}
+	rep, err := rt.Tick(trainEnd.Add(dWeek), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "d" {
+		t.Fatalf("Quarantined = %v, want [d]", rep.Quarantined)
+	}
+	if got := rt.Quarantined(); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("runtime Quarantined = %v", got)
+	}
+	q, ok := rt.InstanceQuality("d")
+	if !ok || q.Grade != tracestore.GradeNoData {
+		t.Fatalf("quality for d = %+v, %v", q, ok)
+	}
+	if q, ok := rt.InstanceQuality("a"); !ok || q.Grade != tracestore.GradeGood {
+		t.Fatalf("quality for a = %+v, %v", q, ok)
+	}
+	// The tick still produced a full drift report despite the dark instance.
+	if rep.WorstNode == "" || rep.SumOfPeaks <= 0 {
+		t.Fatalf("degraded tick report: %+v", rep)
+	}
+}
+
+func TestBootstrapQuarantinesUnknownInstance(t *testing.T) {
+	rt, instances, trainEnd := degradeFixture(t, RuntimeConfig{}, 500, 2, nil)
+	// A placed instance the store has never heard of: quarantined at
+	// bootstrap, placed from its service's reference trace.
+	instances = append(instances, placement.Instance{ID: "ghost", Service: "web"})
+	if err := rt.Bootstrap(instances, trainEnd, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := rt.Quarantined()
+	if len(got) != 1 || got[0] != "ghost" {
+		t.Fatalf("Quarantined = %v, want [ghost]", got)
+	}
+	if err := placement.Verify(rt.Tree(), instances); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestRetriesTransientErrors(t *testing.T) {
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "r", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2, LeafBudget: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(faults.Profile{Seed: 7, TransientRate: 1}, time.Hour, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := tracestore.New(tracestore.Config{Step: time.Hour})
+	rt, err := NewRuntime(New(Config{}), store, tree, RuntimeConfig{
+		Faults: inj, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	rt.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	// Every first append fails transiently; the bounded retry must land the
+	// reading anyway, backing off between attempts.
+	if err := rt.Ingest("a", dEpoch, 100); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) == 0 {
+		t.Fatal("no backoff sleeps despite transient failures")
+	}
+	for i := 1; i < len(slept); i++ {
+		if slept[i] != 2*slept[i-1] {
+			t.Fatalf("backoff not doubling: %v", slept)
+		}
+	}
+	if _, err := store.Snapshot("a", dEpoch, dEpoch.Add(time.Hour)); err != nil {
+		t.Fatalf("reading never landed: %v", err)
+	}
+
+	// Non-transient errors surface immediately, without retrying. (Checked
+	// on a fault-free runtime so no injected transient precedes the store's
+	// own rejection.)
+	plain, err := NewRuntime(New(Config{}), tracestore.New(tracestore.Config{Step: time.Hour}), budTree(t), RuntimeConfig{RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slept = nil
+	plain.sleep = func(d time.Duration) { slept = append(slept, d) }
+	if err := plain.Ingest("a", dEpoch, -5); !errors.Is(err, tracestore.ErrBadReading) {
+		t.Fatalf("bad reading error = %v", err)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("retried a permanent error: %v", slept)
+	}
+}
+
+// budTree is a tiny tree helper for retry tests.
+func budTree(t *testing.T) *powertree.Node {
+	t.Helper()
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "p", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2, LeafBudget: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestTickEscalatesInjectedTripAndReleases(t *testing.T) {
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "e", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2, LeafBudget: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tripLeaf := tree.Leaves()[0].Name
+	trainEnd := dEpoch.Add(2 * dWeek)
+	inj, err := faults.New(faults.Profile{
+		Seed: 3,
+		Trips: []faults.TripWindow{{
+			Node: tripLeaf, Start: trainEnd.Add(24 * time.Hour),
+			Duration: 48 * time.Hour, BudgetFraction: 0.2,
+		}},
+	}, time.Hour, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := tracestore.New(tracestore.Config{Step: time.Hour, Retention: 5 * dWeek})
+	rt, err := NewRuntime(New(Config{TopServices: 2, Seed: 1}), store, tree, RuntimeConfig{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := []placement.Instance{
+		{ID: "a", Service: "web"}, {ID: "b", Service: "web"},
+		{ID: "c", Service: "db"}, {ID: "d", Service: "db"},
+	}
+	for idx, inst := range instances {
+		phase := float64(idx) * math.Pi / 3
+		for s := 0; s < 4*168; s++ {
+			w := 80 + 40*math.Sin(2*math.Pi*float64(s%168)/168+phase)
+			if err := rt.Ingest(inst.ID, dEpoch.Add(time.Duration(s)*time.Hour), w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := rt.Bootstrap(instances, trainEnd, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// First test week overlaps the trip: the leaf's backup feed carries 20%
+	// of nominal budget, the two-instance draw violates it, and the
+	// emergency cap arms and sheds.
+	rep, err := rt.Tick(trainEnd.Add(dWeek), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ActiveTrips) != 1 || rep.ActiveTrips[0].Node != tripLeaf {
+		t.Fatalf("ActiveTrips = %+v", rep.ActiveTrips)
+	}
+	if len(rep.BreakerTrips) == 0 {
+		t.Fatal("no breaker violations at the reduced budget")
+	}
+	if len(rep.EmergencyThrottles) == 0 {
+		t.Fatal("no emergency throttles issued")
+	}
+	if nodes := rt.EmergencyNodes(); len(nodes) != 1 || nodes[0] != tripLeaf {
+		t.Fatalf("EmergencyNodes = %v, want [%s]", nodes, tripLeaf)
+	}
+
+	// Second test week: the trip has cleared, so the cap releases.
+	rep, err = rt.Tick(trainEnd.Add(2*dWeek), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ActiveTrips) != 0 {
+		t.Fatalf("trips still active: %+v", rep.ActiveTrips)
+	}
+	if nodes := rt.EmergencyNodes(); len(nodes) != 0 {
+		t.Fatalf("emergency caps not released: %v", nodes)
+	}
+	if len(rt.History()) != 2 {
+		t.Fatalf("history = %d", len(rt.History()))
+	}
+}
+
+func TestFlushFaultsDrainsReorderBuffer(t *testing.T) {
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "f", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2, LeafBudget: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(faults.Profile{Seed: 11, ReorderFraction: 1, ReorderDelaySlots: 6}, time.Hour, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := tracestore.New(tracestore.Config{Step: time.Hour})
+	rt, err := NewRuntime(New(Config{}), store, tree, RuntimeConfig{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		if err := rt.Ingest("a", dEpoch.Add(time.Duration(s)*time.Hour), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All four readings are held back by the reorder buffer; Flush must land
+	// them so the end-of-replay window is complete.
+	if err := rt.FlushFaults(); err != nil {
+		t.Fatal(err)
+	}
+	_, q, err := store.SnapshotQuality("a", dEpoch, dEpoch.Add(4*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Coverage != 1 {
+		t.Fatalf("coverage after flush = %v, want 1", q.Coverage)
+	}
+}

@@ -1,0 +1,25 @@
+package faults
+
+import "repro/internal/obs"
+
+// Fault-injection metrics (see DESIGN.md "Observability"). The injector is
+// driven from the runtime's serial ingest path, so every counter is exact
+// and replay-deterministic for a fixed profile seed.
+var (
+	obsDropped = obs.Default().Counter("smoothop_faults_dropped_total",
+		"Readings lost to injected dropout windows.")
+	obsLeafOutageDrops = obs.Default().Counter("smoothop_faults_leaf_outage_drops_total",
+		"Readings lost to injected whole-leaf outages.")
+	obsStuck = obs.Default().Counter("smoothop_faults_stuck_total",
+		"Readings latched to a stale value by an injected stuck sensor.")
+	obsSpiked = obs.Default().Counter("smoothop_faults_spiked_total",
+		"Readings multiplied by an injected spike.")
+	obsSkewed = obs.Default().Counter("smoothop_faults_skewed_total",
+		"Readings delivered with an injected clock skew.")
+	obsReordered = obs.Default().Counter("smoothop_faults_reordered_total",
+		"Readings delayed for out-of-order delivery.")
+	obsTransient = obs.Default().Counter("smoothop_faults_transient_errors_total",
+		"Injected retryable store-append failures.")
+	obsActiveTrips = obs.Default().Gauge("smoothop_faults_active_trips",
+		"Injected breaker trips overlapping the last queried window.")
+)

@@ -127,6 +127,22 @@ func (n *Node) AllInstances() []string {
 	return out
 }
 
+// InstanceLeaves maps every instance ID hosted under n to the name of its
+// hosting leaf — the membership view fault injection and quarantine
+// reporting key on. Later duplicates (which Validate would reject anyway)
+// keep the first leaf seen in tree order.
+func (n *Node) InstanceLeaves() map[string]string {
+	out := make(map[string]string)
+	n.Walk(func(m *Node) {
+		for _, id := range m.Instances {
+			if _, ok := out[id]; !ok {
+				out[id] = m.Name
+			}
+		}
+	})
+	return out
+}
+
 // InstanceCount returns the number of instances hosted under n.
 func (n *Node) InstanceCount() int {
 	count := 0

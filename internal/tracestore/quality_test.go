@@ -1,0 +1,310 @@
+package tracestore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var qEpoch = time.Date(2016, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSnapshotQualityBasics(t *testing.T) {
+	st := New(Config{Step: time.Minute})
+	window := 100 * time.Minute
+	to := qEpoch.Add(window)
+
+	if _, _, err := st.SnapshotQuality("ghost", qEpoch, to); err == nil {
+		t.Fatal("unknown instance must error")
+	}
+	if _, _, err := st.SnapshotQuality("x", to, qEpoch); err == nil {
+		t.Fatal("empty window must error")
+	}
+
+	// Full coverage → GradeGood, zero staleness, zero interpolation.
+	for i := 0; i < 100; i++ {
+		if err := st.Append("full", qEpoch.Add(time.Duration(i)*time.Minute), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, q, err := st.SnapshotQuality("full", qEpoch, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Coverage != 1 || q.InterpolatedFraction != 0 || q.Staleness != 0 || q.Grade != GradeGood {
+		t.Fatalf("full coverage quality: %+v", q)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("trace length %d", tr.Len())
+	}
+
+	// Known instance, empty window → GradeNoData, no error, zero series.
+	tr, q, err = st.SnapshotQuality("full", to.Add(time.Hour), to.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Grade != GradeNoData || q.Coverage != 0 || !tr.Empty() {
+		t.Fatalf("no-data quality: %+v (len %d)", q, tr.Len())
+	}
+	if q.Staleness != time.Hour {
+		t.Fatalf("no-data staleness = %v, want the full window", q.Staleness)
+	}
+
+	// A stale tail demotes high coverage to GradeDegraded: 95 of 100 slots
+	// covered, but the last 20 minutes (> 10% of the window) are silent.
+	for i := 0; i < 80; i++ {
+		if err := st.Append("stale", qEpoch.Add(time.Duration(i)*time.Minute), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, q, err = st.SnapshotQuality("stale", qEpoch, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Grade != GradeDegraded {
+		t.Fatalf("stale tail graded %v (quality %+v)", q.Grade, q)
+	}
+	if q.Staleness != 20*time.Minute {
+		t.Fatalf("staleness = %v, want 20m", q.Staleness)
+	}
+}
+
+func TestGradeString(t *testing.T) {
+	for g, want := range map[Grade]string{
+		GradeGood: "good", GradeDegraded: "degraded", GradePoor: "poor", GradeNoData: "no-data", Grade(9): "Grade(9)",
+	} {
+		if got := g.String(); got != want {
+			t.Errorf("Grade(%d).String() = %q, want %q", int(g), got, want)
+		}
+	}
+}
+
+// TestQualityInterpolationAgreementProperty is the contract between gap
+// repair and quality grading: across randomized (but seeded) gap patterns,
+// the reported InterpolatedFraction must equal the fraction of window
+// slots the repair actually filled in — including edge gaps, which
+// interpolate by extending the nearest reading — and Coverage must account
+// for every slot that held a raw reading.
+func TestQualityInterpolationAgreementProperty(t *testing.T) {
+	const trials = 60
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < trials; trial++ {
+		step := time.Minute
+		n := 50 + rng.Intn(400)
+		st := New(Config{Step: step})
+		to := qEpoch.Add(time.Duration(n) * step)
+
+		// Drive the gap pattern: i.i.d. drops plus a burst, and every few
+		// trials force the edge-gap cases by clearing the window borders.
+		dropP := rng.Float64() * 0.9
+		burstStart, burstLen := rng.Intn(n), rng.Intn(n/4+1)
+		clearHead, clearTail := rng.Intn(4) == 0, rng.Intn(4) == 0
+		headLen, tailLen := 1+rng.Intn(n/5+1), 1+rng.Intn(n/5+1)
+
+		kept := make([]bool, n)
+		real := 0
+		for i := 0; i < n; i++ {
+			keep := rng.Float64() >= dropP
+			if i >= burstStart && i < burstStart+burstLen {
+				keep = false
+			}
+			if clearHead && i < headLen {
+				keep = false
+			}
+			if clearTail && i >= n-tailLen {
+				keep = false
+			}
+			kept[i] = keep
+			if !keep {
+				continue
+			}
+			real++
+			if err := st.Append("inst", qEpoch.Add(time.Duration(i)*step), 100+float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if real == 0 {
+			_, q, err := st.SnapshotQuality("inst", qEpoch, to)
+			if err == nil || q.Grade == GradeNoData {
+				// Either the instance was never registered (error) or the
+				// window is empty (GradeNoData) — both acceptable here.
+				continue
+			}
+			t.Fatalf("trial %d: empty pattern returned %+v, %v", trial, q, err)
+		}
+
+		tr, q, err := st.SnapshotQuality("inst", qEpoch, to)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		wantCov := float64(real) / float64(n)
+		wantInterp := float64(n-real) / float64(n)
+		if math.Abs(q.Coverage-wantCov) > 1e-12 {
+			t.Fatalf("trial %d: Coverage = %v, want %v", trial, q.Coverage, wantCov)
+		}
+		if math.Abs(q.InterpolatedFraction-wantInterp) > 1e-12 {
+			t.Fatalf("trial %d: InterpolatedFraction = %v, want %v", trial, q.InterpolatedFraction, wantInterp)
+		}
+		if math.Abs(q.Coverage+q.InterpolatedFraction-1) > 1e-12 {
+			t.Fatalf("trial %d: coverage %v + interpolated %v != 1", trial, q.Coverage, q.InterpolatedFraction)
+		}
+
+		// Count the repaired steps independently: a slot was repaired iff
+		// its raw reading was dropped, and raw slots pass through exactly.
+		repaired := 0
+		for i := 0; i < n; i++ {
+			if kept[i] {
+				if tr.Values[i] != 100+float64(i) {
+					t.Fatalf("trial %d slot %d: raw reading rewritten to %v", trial, i, tr.Values[i])
+				}
+				continue
+			}
+			repaired++
+			if math.IsNaN(tr.Values[i]) {
+				t.Fatalf("trial %d slot %d: gap not repaired", trial, i)
+			}
+		}
+		if got := float64(repaired) / float64(n); math.Abs(q.InterpolatedFraction-got) > 1e-12 {
+			t.Fatalf("trial %d: reported interpolated fraction %v, actually repaired %v", trial, q.InterpolatedFraction, got)
+		}
+
+		// Edge-gap extension: a cleared head must hold the first real
+		// reading, a cleared tail the last.
+		if clearHead && !kept[0] {
+			first := 0
+			for !kept[first] {
+				first++
+			}
+			if tr.Values[0] != tr.Values[first] {
+				t.Fatalf("trial %d: head gap %v not extended from first reading %v", trial, tr.Values[0], tr.Values[first])
+			}
+		}
+		if clearTail && !kept[n-1] {
+			last := n - 1
+			for !kept[last] {
+				last--
+			}
+			if tr.Values[n-1] != tr.Values[last] {
+				t.Fatalf("trial %d: tail gap %v not extended from last reading %v", trial, tr.Values[n-1], tr.Values[last])
+			}
+		}
+
+		// Staleness must match the last kept slot, and the grade must be
+		// consistent with the documented thresholds.
+		lastKept := n - 1
+		for lastKept >= 0 && !kept[lastKept] {
+			lastKept--
+		}
+		wantStale := to.Sub(qEpoch.Add(time.Duration(lastKept+1) * step))
+		if q.Staleness != wantStale {
+			t.Fatalf("trial %d: staleness %v, want %v", trial, q.Staleness, wantStale)
+		}
+		window := time.Duration(n) * step
+		var wantGrade Grade
+		switch {
+		case q.Coverage < 0.5:
+			wantGrade = GradePoor
+		case q.Coverage < 0.9 || q.Staleness > time.Duration(0.1*float64(window)):
+			wantGrade = GradeDegraded
+		default:
+			wantGrade = GradeGood
+		}
+		if q.Grade != wantGrade {
+			t.Fatalf("trial %d: grade %v, want %v (quality %+v)", trial, q.Grade, wantGrade, q)
+		}
+	}
+}
+
+func TestAveragedITraceQuality(t *testing.T) {
+	st := New(Config{Step: time.Hour})
+	week := 7 * 24 * time.Hour
+	end := qEpoch.Add(2 * week)
+	// Two weeks of readings with every fourth slot missing.
+	for i := 0; i < int(2*week/time.Hour); i++ {
+		if i%4 == 3 {
+			continue
+		}
+		if err := st.Append("a", qEpoch.Add(time.Duration(i)*time.Hour), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	folded, q, err := st.AveragedITraceQuality("a", end, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Len() != int(week/time.Hour) {
+		t.Fatalf("folded length %d", folded.Len())
+	}
+	if q.Grade != GradeDegraded || math.Abs(q.Coverage-0.75) > 1e-12 {
+		t.Fatalf("quality %+v, want degraded with 75%% coverage", q)
+	}
+
+	// No history at all → GradeNoData without error.
+	if err := st.Append("b", end.Add(week), 50); err != nil {
+		t.Fatal(err)
+	}
+	_, q, err = st.AveragedITraceQuality("b", end, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Grade != GradeNoData {
+		t.Fatalf("grade %v, want no-data", q.Grade)
+	}
+
+	if _, _, err := st.AveragedITraceQuality("a", end, 0); err == nil {
+		t.Fatal("weeks < 1 must error")
+	}
+}
+
+// TestRejectImpulses pins the opt-in sensor-glitch filter: a single spiked
+// reading is dropped and bridged from clean neighbours, and — the case that
+// motivates running it before gap repair — a spike on the edge of a dropout
+// gap is not smeared across the gap as a broad synthetic peak.
+func TestRejectImpulses(t *testing.T) {
+	st := New(Config{Step: time.Minute, RejectImpulses: true})
+	// Steady 100 W with one 3× spike between two good neighbours.
+	for i, w := range []float64{100, 101, 300, 102, 103} {
+		must(t, st.Append("a", t0.Add(time.Duration(i)*time.Minute), w))
+	}
+	tr, q, err := st.SnapshotQuality("a", t0, t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Values[2] > 110 {
+		t.Fatalf("spike survived: %v", tr.Values)
+	}
+	// The sensor did report every slot; bogus values still count as coverage.
+	if q.Coverage != 1 {
+		t.Fatalf("coverage = %v", q.Coverage)
+	}
+
+	// Spike on the edge of a gap: slots 1–3 dropped, slot 4 spiked. The
+	// spike must become a gap too, so the repair bridges 100 → 104 instead
+	// of ramping toward 300.
+	must(t, st.Append("b", t0, 100))
+	must(t, st.Append("b", t0.Add(4*time.Minute), 300))
+	must(t, st.Append("b", t0.Add(5*time.Minute), 104))
+	tr, _, err = st.SnapshotQuality("b", t0, t0.Add(6*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range tr.Values {
+		if v > 110 {
+			t.Fatalf("gap-edge spike smeared into slot %d: %v", i, tr.Values)
+		}
+	}
+
+	// Off by default: the same shape survives untouched (exact recovery).
+	plain := New(Config{Step: time.Minute})
+	must(t, plain.Append("c", t0, 100))
+	must(t, plain.Append("c", t0.Add(2*time.Minute), 300))
+	must(t, plain.Append("c", t0.Add(4*time.Minute), 100))
+	tr, _, err = plain.SnapshotQuality("c", t0, t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Values[2] != 300 {
+		t.Fatalf("default store altered a written reading: %v", tr.Values)
+	}
+}

@@ -27,6 +27,8 @@ var (
 	ErrUnknownInstance = errors.New("tracestore: unknown instance")
 	ErrStale           = errors.New("tracestore: reading older than retention window")
 	ErrBadReading      = errors.New("tracestore: invalid reading")
+
+	errWeeks = errors.New("tracestore: weeks must be ≥ 1")
 )
 
 // Config tunes a Store.
@@ -37,6 +39,13 @@ type Config struct {
 	// Retention is how much history is kept per instance. 0 means 3 weeks
 	// (the paper's 2 training + 1 test).
 	Retention time.Duration
+	// RejectImpulses drops single-sample glitches (a reading more than
+	// twice the larger of its nearest real neighbours) from materialised
+	// windows before gap repair, so a spiking sensor on the edge of a
+	// dropout gap is not smeared across the gap as a synthetic peak.
+	// Off by default: the plain store contract is exact recovery of every
+	// written reading; turn this on for stores fed by untrusted sensors.
+	RejectImpulses bool
 }
 
 func (c Config) step() time.Duration {
@@ -202,36 +211,18 @@ func (s *Store) Coverage(id string) (float64, error) {
 // Snapshot materialises an instance's trace over [from, to) at the store's
 // step. Gaps are repaired by linear interpolation between neighbouring
 // readings (edge gaps take the nearest reading); a window with no readings
-// at all is an error.
+// at all is an error. Callers that would rather degrade than fail use
+// SnapshotQuality (quality.go), which reports the same window with a
+// quality grade instead of an error.
 func (s *Store) Snapshot(id string, from, to time.Time) (timeseries.Series, error) {
-	step := s.cfg.step()
-	from = from.Truncate(step)
-	n := int(to.Sub(from) / step)
-	if n <= 0 {
-		return timeseries.Series{}, fmt.Errorf("tracestore: empty window [%v, %v)", from, to)
+	tr, q, err := s.SnapshotQuality(id, from, to)
+	if err != nil {
+		return timeseries.Series{}, err
 	}
-	s.mu.RLock()
-	r := s.instances[id]
-	if r == nil {
-		s.mu.RUnlock()
-		return timeseries.Series{}, fmt.Errorf("%w: %q", ErrUnknownInstance, id)
+	if q.Grade == GradeNoData {
+		return timeseries.Series{}, fmt.Errorf("tracestore: instance %q: no readings in window", id)
 	}
-	vals := make([]float64, n)
-	for i := range vals {
-		t := from.Add(time.Duration(i) * step)
-		idx := int(t.Sub(r.start) / step)
-		if idx >= 0 && idx < len(r.values) {
-			vals[i] = r.values[idx]
-		} else {
-			vals[i] = math.NaN()
-		}
-	}
-	s.mu.RUnlock()
-
-	if err := interpolate(vals); err != nil {
-		return timeseries.Series{}, fmt.Errorf("tracestore: instance %q: %w", id, err)
-	}
-	return timeseries.New(from, step, vals), nil
+	return tr, nil
 }
 
 // SnapshotAll materialises every instance over the window.
@@ -293,7 +284,7 @@ func interpolate(vals []float64) error {
 // straight from collected telemetry.
 func (s *Store) AveragedITrace(id string, weekEnd time.Time, weeks int) (timeseries.Series, error) {
 	if weeks < 1 {
-		return timeseries.Series{}, errors.New("tracestore: weeks must be ≥ 1")
+		return timeseries.Series{}, errWeeks
 	}
 	span := time.Duration(weeks) * 7 * 24 * time.Hour
 	tr, err := s.Snapshot(id, weekEnd.Add(-span), weekEnd)

@@ -31,7 +31,10 @@
 package repro
 
 import (
+	"time"
+
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/placement"
 	"repro/internal/powertree"
 	"repro/internal/timeseries"
@@ -86,6 +89,21 @@ type (
 	TraceStore = tracestore.Store
 	// TraceStoreConfig tunes a TraceStore.
 	TraceStoreConfig = tracestore.Config
+
+	// TraceQuality grades how much of a materialised trace is real
+	// telemetry versus gap repair.
+	TraceQuality = tracestore.Quality
+	// QualityGrade classifies a trace: good, degraded, poor or no-data.
+	QualityGrade = tracestore.Grade
+
+	// FaultProfile configures deterministic fault injection: sensor
+	// dropout, stuck/spiky readings, clock skew, reordering, transient
+	// store errors, leaf outages and breaker-trip windows.
+	FaultProfile = faults.Profile
+	// FaultInjector perturbs the telemetry stream per a FaultProfile.
+	FaultInjector = faults.Injector
+	// TripWindow schedules an injected breaker trip on one power node.
+	TripWindow = faults.TripWindow
 )
 
 // The three datacenters under study.
@@ -102,6 +120,31 @@ const (
 	LevelMSB   = powertree.MSB
 	LevelSB    = powertree.SB
 	LevelRPP   = powertree.RPP
+)
+
+// Trace quality grades, best first.
+const (
+	GradeGood     = tracestore.GradeGood
+	GradeDegraded = tracestore.GradeDegraded
+	GradePoor     = tracestore.GradePoor
+	GradeNoData   = tracestore.GradeNoData
+)
+
+// Named errors re-exported for errors.Is checks against facade calls.
+var (
+	// ErrBadScoreFloor rejects a negative RuntimeConfig.ScoreFloor.
+	ErrBadScoreFloor = core.ErrBadScoreFloor
+	// ErrBadMaxSwaps rejects a negative RuntimeConfig.MaxSwapsPerTick.
+	ErrBadMaxSwaps = core.ErrBadMaxSwaps
+	// ErrBadMinCoverage rejects a RuntimeConfig.MinCoverage outside [0, 1).
+	ErrBadMinCoverage = core.ErrBadMinCoverage
+	// ErrAllQuarantined means no instance had a healthy trace to reference.
+	ErrAllQuarantined = core.ErrAllQuarantined
+	// ErrTransient marks a retryable trace-store failure.
+	ErrTransient = tracestore.ErrTransient
+	// ErrNotPlaced and ErrAlreadyPlaced guard Runtime bootstrap ordering.
+	ErrNotPlaced     = core.ErrNotPlaced
+	ErrAlreadyPlaced = core.ErrAlreadyPlaced
 )
 
 // New returns a SmoothOperator framework with the given configuration.
@@ -149,3 +192,18 @@ func NewTraceStore(cfg TraceStoreConfig) *TraceStore { return tracestore.New(cfg
 func NewRuntime(fw *Framework, store *TraceStore, tree *PowerNode, cfg RuntimeConfig) (*Runtime, error) {
 	return core.NewRuntime(fw, store, tree, cfg)
 }
+
+// NewFaultInjector builds a deterministic fault injector for the given
+// profile, telemetry step and power tree. Wire it into a Runtime via
+// RuntimeConfig.Faults.
+func NewFaultInjector(p FaultProfile, step time.Duration, tree *PowerNode) (*FaultInjector, error) {
+	return faults.New(p, step, tree)
+}
+
+// LightFaults is a mild preset: a few percent dropout, rare stuck or spiky
+// sensors, some clock skew and reordering.
+func LightFaults(seed int64) FaultProfile { return faults.Light(seed) }
+
+// HeavyFaults is a hostile preset: heavy bursty dropout, frequent sensor
+// pathologies and whole-leaf outages.
+func HeavyFaults(seed int64) FaultProfile { return faults.Heavy(seed) }
