@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-race race cover bench bench-parallel bench-json bench-smoke smoke soak soak-short experiments ablations extensions fuzz fuzz-short clean
+.PHONY: all check build vet lint test test-race race cover bench bench-parallel bench-json bench-smoke smoke soak soak-short frag-sweep frag-sweep-short experiments ablations extensions fuzz fuzz-short clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, the project linters, the full test
 # suite, the same suite again under the race detector (the parallel pipeline
 # must be data-race-free and bit-identical at any worker count), the smoothopd
-# replay smoke, and the short fault-injection soak.
-check: build vet lint test test-race smoke soak-short
+# replay smoke, the short fault-injection soak, and the short online-placement
+# fragmentation sweep.
+check: build vet lint test test-race smoke soak-short frag-sweep-short
 
 build:
 	$(GO) build ./...
@@ -67,6 +68,16 @@ soak:
 # run twice in-process to pin bit-identical reports and counter deltas.
 soak-short:
 	$(GO) test -run 'TestSoak|TestValidateFaultFlags' -count=1 ./cmd/smoothopd
+
+# frag-sweep replays an arrival stream under each online placement policy and
+# reports the power-fragmentation rate as load grows (FGD Fig. 7(a) analogue).
+frag-sweep:
+	$(GO) run ./cmd/experiments -frag-sweep
+
+# frag-sweep-short is the CI-sized sweep: bit-identical at workers {1,8} and
+# the asynchrony-aware policy must beat random and best-fit at high load.
+frag-sweep-short:
+	$(GO) test -run 'TestFragSweepShort' -count=1 ./internal/experiments
 
 experiments:
 	$(GO) run ./cmd/experiments -all

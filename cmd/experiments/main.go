@@ -8,6 +8,7 @@
 //	experiments -table 1              # the qualitative comparison table
 //	experiments -ablations            # design-choice ablations
 //	experiments -extensions           # UPS/capping/routing studies + sensitivity sweeps
+//	experiments -frag-sweep           # online-placement fragmentation-rate sweep
 //	experiments -scale 4 -step 10m    # sizing knobs (paper-fidelity defaults)
 package main
 
@@ -30,6 +31,7 @@ func main() {
 		all        = flag.Bool("all", false, "regenerate everything")
 		ablations  = flag.Bool("ablations", false, "run design-choice ablations")
 		extensions = flag.Bool("extensions", false, "run extension studies (UPS baseline, capping frequency)")
+		fragSweep  = flag.Bool("frag-sweep", false, "run the online-placement power-fragmentation sweep")
 		scale      = flag.Int("scale", 4, "fleet scale multiplier")
 		step       = flag.Duration("step", 10*time.Minute, "trace sampling interval")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -45,7 +47,7 @@ func main() {
 		os.Exit(2)
 	}
 	opt := experiments.Options{Scale: *scale, Step: *step, Seed: *seed, Workers: *workers}
-	if err := run(opt, dcs, *fig, *table, *all, *ablations, *extensions, *csvDir); err != nil {
+	if err := run(opt, dcs, *fig, *table, *all, *ablations, *extensions, *fragSweep, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -101,8 +103,8 @@ func findRun(runs []*experiments.DCRun, name workload.DCName) *experiments.DCRun
 	return nil
 }
 
-func run(opt experiments.Options, dcs []workload.DCName, fig, table int, all, ablations, extensions bool, csvDir string) error {
-	if !all && fig == 0 && table == 0 && !ablations && !extensions && csvDir == "" {
+func run(opt experiments.Options, dcs []workload.DCName, fig, table int, all, ablations, extensions, fragSweep bool, csvDir string) error {
+	if !all && fig == 0 && table == 0 && !ablations && !extensions && !fragSweep && csvDir == "" {
 		all = true
 	}
 	if len(dcs) == 0 {
@@ -262,6 +264,15 @@ func run(opt experiments.Options, dcs []workload.DCName, fig, table int, all, ab
 			return err
 		}
 		fmt.Println(experiments.FormatSensitivity("baseline mix fraction (DC3)", "mix", mix))
+	}
+	if all || fragSweep {
+		for _, dc := range dcs {
+			rows, err := experiments.FragSweep(dc, opt, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatFragSweep(dc, rows))
+		}
 	}
 	if csvDir != "" {
 		if err := experiments.WriteCSVs(csvDir, runs, opt); err != nil {

@@ -131,6 +131,7 @@ var pipelinePackages = map[string]bool{
 	"experiments": true,
 	"workload":    true,
 	"faults":      true,
+	"metrics":     true,
 }
 
 // IsPipelinePackage reports whether an import path addresses one of the

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/timeseries"
+	"repro/internal/tracestore"
+)
+
+// Online admission: the runtime's arrival-stream path. Bootstrap places a
+// whole fleet snapshot at once; deployments then churn one instance at a
+// time. AdmitInstance scores an arriving instance from its stored telemetry
+// (falling back to its service's reference trace below the quarantine
+// floor, exactly like Bootstrap) and hands it to an asynchrony-aware
+// placement.Online over the live tree. RetireInstance releases a departing
+// instance. Both are safe for concurrent use — the HTTP layer calls them
+// from request goroutines — and both refresh the per-level fragmentation
+// gauges.
+
+// AdmitInstance places one arriving instance onto the live tree and returns
+// the hosting leaf's name. Its averaged I-trace is read from the store as of
+// asOf over trainWeeks weeks (a zero asOf means the latest Bootstrap/Tick
+// time — the stored telemetry's clock, not the wall clock; trainWeeks < 1
+// means the framework default);
+// an instance below the quarantine floor is admitted on its service's
+// reference trace instead of failing. Admission never displaces residents:
+// if no leaf can take the instance without a breaker violation, the error
+// wraps placement.ErrNoCapacity and the tree is unchanged.
+func (r *Runtime) AdmitInstance(id, service string, asOf time.Time, trainWeeks int) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.placed {
+		return "", ErrNotPlaced
+	}
+	if id == "" || service == "" {
+		return "", errors.New("core: admission needs an instance id and a service")
+	}
+	if asOf.IsZero() {
+		asOf = r.evalAsOf
+	}
+	if trainWeeks < 1 {
+		trainWeeks = r.fw.cfg.trainWeeks()
+	}
+	if err := r.ensureOnline(asOf, trainWeeks); err != nil {
+		return "", err
+	}
+	if _, ok := r.online.Leaf(id); ok {
+		return "", fmt.Errorf("%w: %q", placement.ErrAlreadyAdmitted, id)
+	}
+	tr, quarantined, err := r.admissionTrace(id, service, asOf, trainWeeks)
+	if err != nil {
+		return "", err
+	}
+	r.onlineTraces[id] = tr
+	leaf, err := r.online.Admit(placement.Instance{ID: id, Service: service})
+	if err != nil {
+		delete(r.onlineTraces, id)
+		if errors.Is(err, placement.ErrNoCapacity) {
+			obsRuntimeAdmissionRejects.Inc()
+		}
+		return "", err
+	}
+	r.services[id] = service
+	if quarantined {
+		r.quarantined = append(r.quarantined, id)
+		obsQuarantined.Set(float64(len(r.quarantined)))
+	} else {
+		r.refPool[service] = append(r.refPool[service], tr)
+		r.refAll = append(r.refAll, tr)
+	}
+	obsRuntimeAdmissions.Inc()
+	r.refreshFragGauges(r.onlineTraces)
+	return leaf.Name, nil
+}
+
+// RetireInstance removes a previously placed instance from the live tree
+// and returns the leaf that hosted it. Unknown instances wrap
+// placement.ErrUnknownInstance.
+func (r *Runtime) RetireInstance(id string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.placed {
+		return "", ErrNotPlaced
+	}
+	if r.online != nil {
+		leaf, err := r.online.Retire(id)
+		if err != nil {
+			return "", err
+		}
+		delete(r.onlineTraces, id)
+		obsRuntimeRetirements.Inc()
+		r.refreshFragGauges(r.onlineTraces)
+		return leaf.Name, nil
+	}
+	// No online view is live (e.g. right after Bootstrap or Tick): detach
+	// directly; the next admission rebuilds its view from the store anyway.
+	for _, leaf := range r.tree.Leaves() {
+		for _, rid := range leaf.Instances {
+			if rid != id {
+				continue
+			}
+			if !leaf.Detach(id) {
+				return "", fmt.Errorf("core: retire bookkeeping failed for %q", id)
+			}
+			obsRuntimeRetirements.Inc()
+			r.refreshFragGauges(r.traces)
+			return leaf.Name, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %q", placement.ErrUnknownInstance, id)
+}
+
+// ensureOnline (re)builds the runtime's online-placement view: averaged
+// I-traces for every current resident as of (asOf, trainWeeks), quarantined
+// residents filled from reference traces, wrapped in a placement.Online with
+// the asynchrony-aware policy. The view is cached between admissions with
+// the same window and invalidated by Tick (remapping moves instances).
+func (r *Runtime) ensureOnline(asOf time.Time, trainWeeks int) error {
+	if r.online != nil && r.onlineAsOf.Equal(asOf) && r.onlineWeeks == trainWeeks {
+		return nil
+	}
+	traces := make(map[string]timeseries.Series)
+	byService := make(map[string][]timeseries.Series)
+	var healthy []timeseries.Series
+	var quarantined []string
+	for _, id := range r.tree.AllInstances() {
+		tr, q, err := r.residentTrace(id, asOf, trainWeeks)
+		if err != nil {
+			return fmt.Errorf("core: admission view for %q: %w", id, err)
+		}
+		if q.Grade == tracestore.GradeNoData || q.Coverage < r.minCoverage {
+			quarantined = append(quarantined, id)
+			continue
+		}
+		traces[id] = tr
+		byService[r.services[id]] = append(byService[r.services[id]], tr)
+		healthy = append(healthy, tr)
+	}
+	if err := r.fillReferences(traces, quarantined, byService, healthy); err != nil {
+		return fmt.Errorf("core: admission view: %w", err)
+	}
+	lookup := placement.TraceFn(func(id string) (timeseries.Series, bool) {
+		tr, ok := traces[id]
+		return tr, ok
+	})
+	online, err := placement.NewOnline(r.tree, lookup, placement.OnlineAsynchrony{})
+	if err != nil {
+		return fmt.Errorf("core: admission view: %w", err)
+	}
+	r.online = online
+	r.onlineTraces = traces
+	r.refPool = byService
+	r.refAll = healthy
+	r.onlineAsOf = asOf
+	r.onlineWeeks = trainWeeks
+	return nil
+}
+
+// residentTrace reads one resident's averaged I-trace and grade, treating a
+// never-reported instance as an empty window rather than an error.
+func (r *Runtime) residentTrace(id string, asOf time.Time, trainWeeks int) (timeseries.Series, tracestore.Quality, error) {
+	tr, q, err := r.store.AveragedITraceQuality(id, asOf, trainWeeks)
+	if errors.Is(err, tracestore.ErrUnknownInstance) {
+		return timeseries.Series{}, tracestore.Quality{Grade: tracestore.GradeNoData}, nil
+	}
+	if err != nil {
+		return timeseries.Series{}, tracestore.Quality{}, err
+	}
+	return tr, q, nil
+}
+
+// admissionTrace resolves the arriving instance's scoring trace: its own
+// averaged I-trace when healthy, otherwise its service's reference trace
+// (mean of healthy same-service residents, then the fleet-wide mean). The
+// boolean reports whether the fallback fired.
+func (r *Runtime) admissionTrace(id, service string, asOf time.Time, trainWeeks int) (timeseries.Series, bool, error) {
+	tr, q, err := r.residentTrace(id, asOf, trainWeeks)
+	if err != nil {
+		return timeseries.Series{}, false, fmt.Errorf("core: admission trace for %q: %w", id, err)
+	}
+	r.quality[id] = q
+	if q.Grade != tracestore.GradeNoData && q.Coverage >= r.minCoverage {
+		return tr, false, nil
+	}
+	ref, ok := meanSeries(r.refPool[service])
+	if !ok {
+		ref, ok = meanSeries(r.refAll)
+	}
+	if !ok {
+		return timeseries.Series{}, false, ErrAllQuarantined
+	}
+	obsFallbackTraces.Inc()
+	return ref, true, nil
+}
+
+// refreshFragGauges recomputes the per-level fragmentation gauges from the
+// given trace view. Gauges are best-effort: an incomplete view (e.g. a
+// retirement before any admission view exists) leaves them at their last
+// value rather than failing the operation.
+func (r *Runtime) refreshFragGauges(traces map[string]timeseries.Series) {
+	if traces == nil {
+		return
+	}
+	rows, err := metrics.FragmentationRates(r.tree, func(id string) (timeseries.Series, bool) {
+		tr, ok := traces[id]
+		return tr, ok
+	})
+	if err != nil {
+		return
+	}
+	for _, row := range rows {
+		if g := fragGauge(row.Level); g != nil {
+			g.Set(row.RatePct)
+		}
+	}
+}
+
+// FragmentationRates reports the tree's current power-fragmentation rates
+// per level, computed from the latest trace view (the admission view when
+// one is live, otherwise the last Bootstrap/Tick traces).
+func (r *Runtime) FragmentationRates() ([]metrics.FragmentationRow, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.placed {
+		return nil, ErrNotPlaced
+	}
+	traces := r.onlineTraces
+	if traces == nil {
+		traces = r.traces
+	}
+	return metrics.FragmentationRates(r.tree, func(id string) (timeseries.Series, bool) {
+		tr, ok := traces[id]
+		return tr, ok
+	})
+}

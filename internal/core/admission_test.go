@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/powertree"
+)
+
+// admissionFixture bootstraps a runtime on all but the last three instances
+// so tests can admit the held-out ones online. Returns the runtime, the
+// placed instances, the held-out instances, and the training end.
+func admissionFixture(t *testing.T) (*Runtime, []placement.Instance, []placement.Instance, time.Time) {
+	t.Helper()
+	rt, instances, _, trainEnd := runtimeFixture(t)
+	hold := 3
+	placed, held := instances[:len(instances)-hold], instances[len(instances)-hold:]
+	if err := rt.Bootstrap(placed, trainEnd, 2); err != nil {
+		t.Fatal(err)
+	}
+	return rt, placed, held, trainEnd
+}
+
+func TestAdmitInstanceLifecycle(t *testing.T) {
+	rt, placed, held, trainEnd := admissionFixture(t)
+	for _, inst := range held {
+		leaf, err := rt.AdmitInstance(inst.ID, inst.Service, trainEnd, 2)
+		if err != nil {
+			t.Fatalf("admit %q: %v", inst.ID, err)
+		}
+		if leaf == "" {
+			t.Fatalf("admit %q returned empty leaf", inst.ID)
+		}
+	}
+	all := append(append([]placement.Instance(nil), placed...), held...)
+	if err := placement.Verify(rt.Tree(), all); err != nil {
+		t.Fatal(err)
+	}
+
+	// Double admit is a conflict.
+	if _, err := rt.AdmitInstance(held[0].ID, held[0].Service, trainEnd, 2); !errors.Is(err, placement.ErrAlreadyAdmitted) {
+		t.Fatalf("double admit: %v, want ErrAlreadyAdmitted", err)
+	}
+	// Bootstrap residents are part of the online view too.
+	if _, err := rt.AdmitInstance(placed[0].ID, placed[0].Service, trainEnd, 2); !errors.Is(err, placement.ErrAlreadyAdmitted) {
+		t.Fatalf("re-admitting a bootstrapped instance: %v, want ErrAlreadyAdmitted", err)
+	}
+
+	// Retire and re-admit.
+	leaf, err := rt.RetireInstance(held[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf == "" {
+		t.Fatal("retire returned empty leaf")
+	}
+	if _, err := rt.RetireInstance(held[0].ID); !errors.Is(err, placement.ErrUnknownInstance) {
+		t.Fatalf("double retire: %v, want ErrUnknownInstance", err)
+	}
+	if _, err := rt.AdmitInstance(held[0].ID, held[0].Service, trainEnd, 2); err != nil {
+		t.Fatalf("re-admit after retire: %v", err)
+	}
+	if err := placement.Verify(rt.Tree(), all); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmitDefaultsToRuntimeClock admits with a zero asOf: the runtime must
+// fall back to its own evaluation time (Bootstrap's, then the latest
+// Tick's), not the wall clock — a replay daemon's stored telemetry lives at
+// the replay epoch, where time.Now() would find an empty window.
+func TestAdmitDefaultsToRuntimeClock(t *testing.T) {
+	rt, _, held, trainEnd := admissionFixture(t)
+	leaf, err := rt.AdmitInstance(held[0].ID, held[0].Service, time.Time{}, 0)
+	if err != nil {
+		t.Fatalf("admit with zero asOf: %v", err)
+	}
+	if leaf == "" {
+		t.Fatal("admit with zero asOf returned empty leaf")
+	}
+	if !rt.evalAsOf.Equal(trainEnd) {
+		t.Fatalf("evalAsOf = %v, want bootstrap asOf %v", rt.evalAsOf, trainEnd)
+	}
+
+	tickAt := trainEnd.Add(7 * 24 * time.Hour)
+	if _, err := rt.Tick(tickAt, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.evalAsOf.Equal(tickAt) {
+		t.Fatalf("evalAsOf after tick = %v, want %v", rt.evalAsOf, tickAt)
+	}
+	if _, err := rt.AdmitInstance(held[1].ID, held[1].Service, time.Time{}, 0); err != nil {
+		t.Fatalf("admit with zero asOf after tick: %v", err)
+	}
+}
+
+func TestAdmitBeforeBootstrap(t *testing.T) {
+	rt, instances, _, trainEnd := runtimeFixture(t)
+	if _, err := rt.AdmitInstance(instances[0].ID, instances[0].Service, trainEnd, 2); !errors.Is(err, ErrNotPlaced) {
+		t.Fatalf("admit before bootstrap: %v, want ErrNotPlaced", err)
+	}
+	if _, err := rt.RetireInstance(instances[0].ID); !errors.Is(err, ErrNotPlaced) {
+		t.Fatalf("retire before bootstrap: %v, want ErrNotPlaced", err)
+	}
+}
+
+func TestAdmitValidation(t *testing.T) {
+	rt, placed, _, trainEnd := admissionFixture(t)
+	if _, err := rt.AdmitInstance("", placed[0].Service, trainEnd, 2); err == nil {
+		t.Fatal("empty id must error")
+	}
+	if _, err := rt.AdmitInstance("new-one", "", trainEnd, 2); err == nil {
+		t.Fatal("empty service must error")
+	}
+}
+
+// TestAdmitQuarantineFallback admits an instance the store has never heard
+// of: it must land on its service's reference trace, not fail.
+func TestAdmitQuarantineFallback(t *testing.T) {
+	rt, placed, _, trainEnd := admissionFixture(t)
+	service := placed[0].Service
+	leaf, err := rt.AdmitInstance("ghost-0001", service, trainEnd, 2)
+	if err != nil {
+		t.Fatalf("admitting unreported instance: %v", err)
+	}
+	if leaf == "" {
+		t.Fatal("empty leaf for quarantined admission")
+	}
+	found := false
+	for _, id := range rt.Quarantined() {
+		if id == "ghost-0001" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ghost-0001 not quarantined: %v", rt.Quarantined())
+	}
+}
+
+// TestAdmitNoCapacity starves the tree and checks the rejection leaves it
+// untouched.
+func TestAdmitNoCapacity(t *testing.T) {
+	rt, _, held, trainEnd := admissionFixture(t)
+	rt.Tree().Walk(func(n *powertree.Node) { n.Budget = 1 })
+	before := rt.Tree().InstanceCount()
+	if _, err := rt.AdmitInstance(held[0].ID, held[0].Service, trainEnd, 2); !errors.Is(err, placement.ErrNoCapacity) {
+		t.Fatalf("admit into starved tree: %v, want ErrNoCapacity", err)
+	}
+	if got := rt.Tree().InstanceCount(); got != before {
+		t.Fatalf("rejected admission changed instance count %d → %d", before, got)
+	}
+}
+
+// TestRetireWithoutOnlineView retires straight after Bootstrap, before any
+// admission built the online view.
+func TestRetireWithoutOnlineView(t *testing.T) {
+	rt, placed, _, _ := admissionFixture(t)
+	leaf, err := rt.RetireInstance(placed[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf == "" {
+		t.Fatal("retire returned empty leaf")
+	}
+	if _, err := rt.RetireInstance("never-heard-of"); !errors.Is(err, placement.ErrUnknownInstance) {
+		t.Fatalf("retiring unknown: %v, want ErrUnknownInstance", err)
+	}
+}
+
+// TestTickInvalidatesOnlineView checks that admissions keep working across a
+// tick (which remaps and drops the cached admission view).
+func TestTickInvalidatesOnlineView(t *testing.T) {
+	rt, _, held, trainEnd := admissionFixture(t)
+	if _, err := rt.AdmitInstance(held[0].ID, held[0].Service, trainEnd, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Tick(trainEnd.Add(7*24*time.Hour), 0); err != nil {
+		t.Fatal(err)
+	}
+	if rt.online != nil {
+		t.Fatal("tick did not invalidate the online view")
+	}
+	if _, err := rt.AdmitInstance(held[1].ID, held[1].Service, trainEnd, 2); err != nil {
+		t.Fatalf("admit after tick: %v", err)
+	}
+}
+
+func TestRuntimeFragmentationRates(t *testing.T) {
+	rt, _, _, _ := admissionFixture(t)
+	rows, err := rt.FragmentationRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(powertree.Levels) {
+		t.Fatalf("got %d fragmentation rows, want %d", len(rows), len(powertree.Levels))
+	}
+	for _, row := range rows {
+		if row.RatePct < 0 || row.StrandedWatts < 0 {
+			t.Fatalf("negative fragmentation at %s: %+v", row.Level, row)
+		}
+	}
+
+	unplaced, _, _, _ := runtimeFixture(t)
+	if _, err := unplaced.FragmentationRates(); !errors.Is(err, ErrNotPlaced) {
+		t.Fatalf("rates before bootstrap: %v, want ErrNotPlaced", err)
+	}
+}
+
+// TestAdmitReplayDeterminism runs the same admission sequence on two fresh
+// runtimes: decisions and runtime counter deltas must match exactly.
+func TestAdmitReplayDeterminism(t *testing.T) {
+	type outcome struct {
+		leaves     []string
+		admissions uint64
+		rejects    uint64
+		retires    uint64
+	}
+	run := func() outcome {
+		a0, r0, t0 := obsRuntimeAdmissions.Value(), obsRuntimeAdmissionRejects.Value(), obsRuntimeRetirements.Value()
+		rt, _, held, trainEnd := admissionFixture(t)
+		var leaves []string
+		for _, inst := range held {
+			leaf, err := rt.AdmitInstance(inst.ID, inst.Service, trainEnd, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves = append(leaves, leaf)
+		}
+		if _, err := rt.RetireInstance(held[0].ID); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{
+			leaves:     leaves,
+			admissions: obsRuntimeAdmissions.Value() - a0,
+			rejects:    obsRuntimeAdmissionRejects.Value() - r0,
+			retires:    obsRuntimeRetirements.Value() - t0,
+		}
+	}
+	a, b := run(), run()
+	if len(a.leaves) != len(b.leaves) {
+		t.Fatalf("decision counts differ: %d vs %d", len(a.leaves), len(b.leaves))
+	}
+	for i := range a.leaves {
+		if a.leaves[i] != b.leaves[i] {
+			t.Fatalf("decision %d diverged: %q vs %q", i, a.leaves[i], b.leaves[i])
+		}
+	}
+	if a.admissions != b.admissions || a.rejects != b.rejects || a.retires != b.retires {
+		t.Fatalf("counter deltas diverged: %+v vs %+v", a, b)
+	}
+	if a.admissions == 0 || a.retires == 0 {
+		t.Fatalf("counters did not move: %+v", a)
+	}
+}

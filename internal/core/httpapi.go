@@ -3,34 +3,45 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/placement"
 )
 
 // HTTPHandler exposes a runtime's state over HTTP for dashboards and
 // debugging. The API is versioned under /v1/:
 //
-//	GET /v1/health   — liveness plus degradation state: ok|degraded,
-//	                   quarantined instances, active trip windows,
-//	                   emergency-capped nodes
-//	GET /v1/status   — placement summary: instance count, leaves, tick count
-//	GET /v1/tree     — the placed power tree as JSON (powertree.Save format)
-//	GET /v1/history  — drift reports from every tick
-//	GET /v1/metrics  — the obs registry in Prometheus text format
+//	GET    /v1/health          — liveness plus degradation state: ok|degraded,
+//	                             quarantined instances, active trip windows,
+//	                             emergency-capped nodes
+//	GET    /v1/status          — placement summary: instance count, leaves,
+//	                             tick count
+//	GET    /v1/tree            — the placed power tree as JSON
+//	                             (powertree.Save format)
+//	GET    /v1/history         — drift reports from every tick
+//	GET    /v1/metrics         — the obs registry in Prometheus text format
+//	POST   /v1/instances       — admit one instance via online placement;
+//	                             body {"id","service"} plus optional
+//	                             "as_of" (RFC 3339) and "train_weeks"
+//	DELETE /v1/instances/{id}  — retire a placed instance
 //
 // Errors are a uniform JSON envelope: {"error":{"code":..,"message":..}}.
-// Unknown paths get the envelope with code "not_found"; non-GET methods get
-// code "method_not_allowed" plus an Allow header.
+// Unknown paths get the envelope with code "not_found"; disallowed methods
+// get code "method_not_allowed" plus an Allow header.
 //
 // The pre-versioning paths (/healthz, /status, /tree, /history, /metrics)
 // remain as deprecated aliases: same behaviour, plus a "Deprecation: true"
 // header and a Link header naming the successor under /v1/. They will be
 // removed in a future major version; new clients should use /v1/.
 //
-// The handler is read-only; ingestion and ticking stay with the owner.
+// The GET surface is read-only; /v1/instances mutates the placement through
+// the runtime's serialized admission path. Ingestion and ticking stay with
+// the owner.
 //
 // The status timestamp comes from the injected clock; HTTPHandler is the
 // serving wrapper that pins it to the wall clock, which keeps the
@@ -142,6 +153,58 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 		_ = reg.WriteProm(w)
 	}
 
+	admit := func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			ID         string `json:"id"`
+			Service    string `json:"service"`
+			AsOf       string `json:"as_of"`
+			TrainWeeks int    `json:"train_weeks"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			api.writeError(w, http.StatusBadRequest, "bad_request", "decoding body: "+err.Error())
+			return
+		}
+		if body.ID == "" || body.Service == "" {
+			api.writeError(w, http.StatusBadRequest, "bad_request", `body needs "id" and "service"`)
+			return
+		}
+		// No "as_of" means "the runtime's own clock" (its latest
+		// Bootstrap/Tick time) — NOT the wall clock, which on a replay
+		// daemon sits far outside the stored telemetry window.
+		var asOf time.Time
+		if body.AsOf != "" {
+			parsed, err := time.Parse(time.RFC3339, body.AsOf)
+			if err != nil {
+				api.writeError(w, http.StatusBadRequest, "bad_request", `"as_of" must be RFC 3339: `+err.Error())
+				return
+			}
+			asOf = parsed
+		}
+		if body.TrainWeeks < 0 {
+			api.writeError(w, http.StatusBadRequest, "bad_request", `"train_weeks" must not be negative`)
+			return
+		}
+		leaf, err := rt.AdmitInstance(body.ID, body.Service, asOf, body.TrainWeeks)
+		if err != nil {
+			api.writeAdmissionError(w, err)
+			return
+		}
+		api.writeJSONStatus(w, http.StatusCreated, instanceView{ID: body.ID, Leaf: leaf})
+	}
+	retire := func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/v1/instances/")
+		if id == "" || strings.Contains(id, "/") {
+			api.writeError(w, http.StatusNotFound, "not_found", "unknown path "+r.URL.Path)
+			return
+		}
+		leaf, err := rt.RetireInstance(id)
+		if err != nil {
+			api.writeAdmissionError(w, err)
+			return
+		}
+		api.writeJSON(w, instanceView{ID: id, Leaf: leaf})
+	}
+
 	mux := http.NewServeMux()
 	// The versioned API.
 	mux.HandleFunc("/v1/health", api.get(health))
@@ -149,6 +212,8 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 	mux.HandleFunc("/v1/tree", api.get(treeH))
 	mux.HandleFunc("/v1/history", api.get(history))
 	mux.HandleFunc("/v1/metrics", api.get(metrics))
+	mux.HandleFunc("/v1/instances", api.method(http.MethodPost, admit))
+	mux.HandleFunc("/v1/instances/", api.method(http.MethodDelete, retire))
 	// Deprecated pre-versioning aliases: identical behaviour plus
 	// deprecation headers pointing at the successor route.
 	mux.HandleFunc("/healthz", api.get(deprecated("/v1/health", healthz)))
@@ -183,16 +248,45 @@ type httpAPI struct {
 
 // get wraps a handler with request counting and the GET-only method check.
 func (a *httpAPI) get(h http.HandlerFunc) http.HandlerFunc {
+	return a.method(http.MethodGet, h)
+}
+
+// method wraps a handler with request counting and a single-method check;
+// anything else gets the 405 envelope plus an Allow header.
+func (a *httpAPI) method(allow string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		a.requests.Inc()
-		if r.Method != http.MethodGet {
-			w.Header().Set("Allow", http.MethodGet)
+		if r.Method != allow {
+			w.Header().Set("Allow", allow)
 			a.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
-				r.Method+" is not allowed; use GET")
+				r.Method+" is not allowed; use "+allow)
 			return
 		}
 		h(w, r)
 	}
+}
+
+// writeAdmissionError maps AdmitInstance/RetireInstance failures onto the
+// error envelope.
+func (a *httpAPI) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotPlaced):
+		a.writeError(w, http.StatusConflict, "not_placed", err.Error())
+	case errors.Is(err, placement.ErrAlreadyAdmitted):
+		a.writeError(w, http.StatusConflict, "already_admitted", err.Error())
+	case errors.Is(err, placement.ErrNoCapacity):
+		a.writeError(w, http.StatusConflict, "no_capacity", err.Error())
+	case errors.Is(err, placement.ErrUnknownInstance):
+		a.writeError(w, http.StatusNotFound, "unknown_instance", err.Error())
+	default:
+		a.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// instanceView is the wire form of an admission or retirement outcome.
+type instanceView struct {
+	ID   string `json:"id"`
+	Leaf string `json:"leaf"`
 }
 
 // errorEnvelope is the uniform wire form of every API error.
@@ -223,6 +317,11 @@ func (a *httpAPI) writeError(w http.ResponseWriter, status int, code, message st
 // encode failure can still produce a clean 500 instead of a 200 with a
 // truncated body, and counts encode failures on the error counter.
 func (a *httpAPI) writeJSON(w http.ResponseWriter, v interface{}) {
+	a.writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus is writeJSON with an explicit success status code.
+func (a *httpAPI) writeJSONStatus(w http.ResponseWriter, status int, v interface{}) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -231,6 +330,7 @@ func (a *httpAPI) writeJSON(w http.ResponseWriter, v interface{}) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	_, _ = w.Write(buf.Bytes())
 }
 

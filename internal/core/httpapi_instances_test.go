@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// heldOut is one instance the fixture kept out of Bootstrap for tests to
+// admit over HTTP.
+type heldOut struct{ ID, Service string }
+
+// instancesFixture serves a bootstrapped runtime whose clock is pinned to
+// the training end, so POST bodies without "as_of" resolve against real
+// stored history. Returns the server, the registry, the held-out instances
+// and the training end.
+func instancesFixture(t *testing.T) (*httptest.Server, *obs.Registry, []heldOut, time.Time) {
+	t.Helper()
+	rt, _, held, trainEnd := admissionFixture(t)
+	clock := func() time.Time { return trainEnd }
+	reg := obs.NewWithClock(clock)
+	srv := httptest.NewServer(HTTPHandlerWithObs(rt, clock, reg))
+	t.Cleanup(srv.Close)
+	outs := make([]heldOut, len(held))
+	for i, inst := range held {
+		outs[i] = heldOut{ID: inst.ID, Service: inst.Service}
+	}
+	return srv, reg, outs, trainEnd
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func doDelete(t *testing.T, client *http.Client, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPInstancesMethodNotAllowed(t *testing.T) {
+	srv, _, _, _ := instancesFixture(t)
+	client := srv.Client()
+
+	resp, err := client.Get(srv.URL + "/v1/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/instances = %d, want 405", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Allow"); got != http.MethodPost {
+		t.Fatalf("Allow = %q, want POST", got)
+	}
+	if code, _ := decodeEnvelope(t, resp); code != "method_not_allowed" {
+		t.Fatalf("code = %q, want method_not_allowed", code)
+	}
+
+	resp, err = client.Get(srv.URL + "/v1/instances/some-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/instances/some-id = %d, want 405", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Allow"); got != http.MethodDelete {
+		t.Fatalf("Allow = %q, want DELETE", got)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPInstancesBadPayloads(t *testing.T) {
+	srv, _, held, _ := instancesFixture(t)
+	client := srv.Client()
+	url := srv.URL + "/v1/instances"
+
+	cases := []struct {
+		name, body, wantCode string
+		wantStatus           int
+	}{
+		{"not json", "{not json", "bad_request", http.StatusBadRequest},
+		{"empty object", "{}", "bad_request", http.StatusBadRequest},
+		{"missing service", `{"id":"x"}`, "bad_request", http.StatusBadRequest},
+		{"bad as_of", `{"id":"x","service":"y","as_of":"yesterday"}`, "bad_request", http.StatusBadRequest},
+		{"negative train_weeks", `{"id":"x","service":"y","train_weeks":-1}`, "bad_request", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, client, url, tc.body)
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+		if code, _ := decodeEnvelope(t, resp); code != tc.wantCode {
+			t.Errorf("%s: code = %q, want %q", tc.name, code, tc.wantCode)
+		}
+	}
+
+	// Unknown ID on DELETE → 404 envelope.
+	resp := doDelete(t, client, url+"/never-admitted")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown = %d, want 404", resp.StatusCode)
+	}
+	if code, _ := decodeEnvelope(t, resp); code != "unknown_instance" {
+		t.Errorf("DELETE unknown code = %q, want unknown_instance", code)
+	}
+
+	// Trailing-slash DELETE with no ID → 404 not_found.
+	resp = doDelete(t, client, url+"/")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE with empty id = %d, want 404", resp.StatusCode)
+	}
+	if code, _ := decodeEnvelope(t, resp); code != "not_found" {
+		t.Errorf("DELETE with empty id code = %q, want not_found", code)
+	}
+	_ = held
+}
+
+func TestHTTPInstancesAdmitRetire(t *testing.T) {
+	srv, _, held, _ := instancesFixture(t)
+	client := srv.Client()
+	url := srv.URL + "/v1/instances"
+
+	// Admit one held-out instance (the runtime's own clock supplies as_of).
+	body, _ := json.Marshal(map[string]string{"id": held[0].ID, "service": held[0].Service})
+	resp := postJSON(t, client, url, string(body))
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("POST = %d, want 201 (body %s)", resp.StatusCode, raw)
+	}
+	var view instanceView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.ID != held[0].ID || view.Leaf == "" {
+		t.Fatalf("admit view = %+v", view)
+	}
+
+	// Admitting again conflicts.
+	resp = postJSON(t, client, url, string(body))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double POST = %d, want 409", resp.StatusCode)
+	}
+	if code, _ := decodeEnvelope(t, resp); code != "already_admitted" {
+		t.Fatalf("double POST code = %q", code)
+	}
+
+	// Retire it.
+	resp = doDelete(t, client, url+"/"+held[0].ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d, want 200", resp.StatusCode)
+	}
+	var gone instanceView
+	if err := json.NewDecoder(resp.Body).Decode(&gone); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if gone.ID != held[0].ID || gone.Leaf != view.Leaf {
+		t.Fatalf("retire view = %+v, want leaf %q", gone, view.Leaf)
+	}
+
+	// And it can come back with an explicit as_of.
+	resp = postJSON(t, client, url, string(body))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("re-POST = %d, want 201", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestHTTPInstancesSkewedWallClock admits without "as_of" on a server whose
+// wall clock sits years past the stored telemetry. The default must be the
+// runtime's replay clock, not time.Now() — with the wall clock every window
+// would be empty and the whole fleet would look quarantined.
+func TestHTTPInstancesSkewedWallClock(t *testing.T) {
+	rt, _, held, trainEnd := admissionFixture(t)
+	clock := func() time.Time { return trainEnd.Add(10 * 365 * 24 * time.Hour) }
+	srv := httptest.NewServer(HTTPHandlerWithObs(rt, clock, obs.NewWithClock(clock)))
+	t.Cleanup(srv.Close)
+
+	body, _ := json.Marshal(map[string]string{"id": held[0].ID, "service": held[0].Service})
+	resp := postJSON(t, srv.Client(), srv.URL+"/v1/instances", string(body))
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("POST with skewed wall clock = %d, want 201 (body %s)", resp.StatusCode, raw)
+	}
+	resp.Body.Close()
+}
+
+// TestHTTPInstancesReplayDeterminism drives the same admission sequence
+// against two fresh servers: identical placement decisions and identical
+// HTTP counter deltas on the per-server registries.
+func TestHTTPInstancesReplayDeterminism(t *testing.T) {
+	run := func() ([]string, string) {
+		srv, reg, held, trainEnd := instancesFixture(t)
+		client := srv.Client()
+		var leaves []string
+		for _, h := range held {
+			payload, _ := json.Marshal(map[string]string{
+				"id": h.ID, "service": h.Service, "as_of": trainEnd.Format(time.RFC3339),
+			})
+			resp := postJSON(t, client, srv.URL+"/v1/instances", string(payload))
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("POST %s = %d", h.ID, resp.StatusCode)
+			}
+			var view instanceView
+			if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			leaves = append(leaves, view.Leaf)
+		}
+		// One deliberate error so the error counter moves too.
+		resp := doDelete(t, client, srv.URL+"/v1/instances/never-admitted")
+		resp.Body.Close()
+
+		var buf bytes.Buffer
+		if err := reg.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return leaves, buf.String()
+	}
+	leavesA, promA := run()
+	leavesB, promB := run()
+	if len(leavesA) != len(leavesB) {
+		t.Fatalf("decision counts differ: %d vs %d", len(leavesA), len(leavesB))
+	}
+	for i := range leavesA {
+		if leavesA[i] != leavesB[i] {
+			t.Fatalf("decision %d diverged: %q vs %q", i, leavesA[i], leavesB[i])
+		}
+	}
+	if promA != promB {
+		t.Fatalf("registry expositions diverged:\n--- A\n%s\n--- B\n%s", promA, promB)
+	}
+}

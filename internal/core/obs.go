@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/powertree"
+)
 
 // Runtime metrics (see DESIGN.md "Observability"). Ingest and Tick are
 // serial entry points, so the counters are exact and replay-deterministic;
@@ -28,4 +31,44 @@ var (
 		"Breaker violations found at trip-reduced budgets.")
 	obsEmergencyThrottles = obs.Default().Counter("smoothop_runtime_emergency_throttles_total",
 		"Shedding directives issued by the emergency capping path.")
+
+	// Online admission metrics. AdmitInstance/RetireInstance serialize on the
+	// runtime's mutex, so the counters are exact under concurrent HTTP use.
+	obsRuntimeAdmissions = obs.Default().Counter("smoothop_runtime_admissions_total",
+		"Instances admitted through the runtime's online placement path.")
+	obsRuntimeAdmissionRejects = obs.Default().Counter("smoothop_runtime_admission_rejections_total",
+		"Online admissions rejected because no leaf could host the instance.")
+	obsRuntimeRetirements = obs.Default().Counter("smoothop_runtime_retirements_total",
+		"Instances retired through the runtime's online placement path.")
+
+	// Per-level power-fragmentation gauges (the obs registry has no labels,
+	// so each tier gets its own series). Refreshed at Bootstrap, Tick and
+	// every admission or retirement.
+	obsFragDC = obs.Default().Gauge("smoothop_runtime_fragmentation_pct_dc",
+		"Power-fragmentation rate at the DC level (percent of capacity stranded).")
+	obsFragSuite = obs.Default().Gauge("smoothop_runtime_fragmentation_pct_suite",
+		"Power-fragmentation rate at the suite level (percent of capacity stranded).")
+	obsFragMSB = obs.Default().Gauge("smoothop_runtime_fragmentation_pct_msb",
+		"Power-fragmentation rate at the MSB level (percent of capacity stranded).")
+	obsFragSB = obs.Default().Gauge("smoothop_runtime_fragmentation_pct_sb",
+		"Power-fragmentation rate at the SB level (percent of capacity stranded).")
+	obsFragRPP = obs.Default().Gauge("smoothop_runtime_fragmentation_pct_rpp",
+		"Power-fragmentation rate at the RPP level (percent of capacity stranded).")
 )
+
+// fragGauge maps a tree level to its fragmentation gauge.
+func fragGauge(l powertree.Level) *obs.Gauge {
+	switch l {
+	case powertree.DC:
+		return obsFragDC
+	case powertree.Suite:
+		return obsFragSuite
+	case powertree.MSB:
+		return obsFragMSB
+	case powertree.SB:
+		return obsFragSB
+	case powertree.RPP:
+		return obsFragRPP
+	}
+	return nil
+}

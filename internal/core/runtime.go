@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/capping"
@@ -66,6 +67,28 @@ type Runtime struct {
 
 	placed  bool
 	history []*DriftReport
+	// evalAsOf is the runtime's own clock: the asOf of the latest Bootstrap
+	// or Tick. Admissions that do not name a time use it, so callers follow
+	// the replayed telemetry rather than the wall clock.
+	evalAsOf time.Time
+
+	// mu serializes the online-admission entry points (the HTTP layer calls
+	// them from request goroutines). Ingest/Bootstrap/Tick stay owner-serial
+	// as before.
+	mu sync.Mutex
+	// traces is the latest Bootstrap/Tick scoring view (references filled),
+	// kept for fragmentation reporting between admissions.
+	traces map[string]timeseries.Series
+	// online is the lazily-built admission view over the live tree; nil
+	// until the first AdmitInstance and invalidated by Tick (remapping moves
+	// instances). onlineTraces/refPool/refAll are its trace view and the
+	// healthy reference pools; onlineAsOf/onlineWeeks key the cache.
+	online       *placement.Online
+	onlineTraces map[string]timeseries.Series
+	refPool      map[string][]timeseries.Series
+	refAll       []timeseries.Series
+	onlineAsOf   time.Time
+	onlineWeeks  int
 }
 
 // RuntimeConfig tunes the runtime.
@@ -303,6 +326,8 @@ func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trai
 	}
 	r.quality = quality
 	r.quarantined = quarantined
+	r.traces = avg
+	r.refreshFragGauges(avg)
 	obsQuarantined.Set(float64(len(quarantined)))
 	if r.faults != nil {
 		capper, err := capping.New(r.tree, capping.Config{SustainSteps: 1})
@@ -312,6 +337,7 @@ func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trai
 		r.capper = capper
 	}
 	r.placed = true
+	r.evalAsOf = asOf
 	return nil
 }
 
@@ -433,6 +459,16 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 	r.quality = quality
 	r.quarantined = quarantined
 	obsQuarantined.Set(float64(len(quarantined)))
+	// The remap may have moved instances: drop the admission view (the next
+	// AdmitInstance rebuilds it) and refresh the fragmentation gauges from
+	// the tick's fresh window.
+	r.mu.Lock()
+	r.online = nil
+	r.onlineTraces = nil
+	r.traces = fresh
+	r.evalAsOf = asOf
+	r.refreshFragGauges(fresh)
+	r.mu.Unlock()
 
 	if err := r.emergencyStep(rep, from, asOf, fresh); err != nil {
 		return nil, err

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/powertree"
+)
+
+// Power fragmentation rate.
+//
+// FGD ("Beware of Fragmentation"-style GPU scheduling) reports a
+// fragmentation rate: the share of cluster capacity that exists on paper but
+// cannot actually serve the arriving workload. The power-tree analogue is
+// stranded watts: headroom a node advertises (budget − aggregate peak) that
+// cannot be delivered to new load because it is walled off behind
+// lower-level breakers. A suite with 100 kW of headroom whose RPPs are all
+// within 1 kW of tripping can really admit only Σ leaf headrooms; the rest
+// is fragmentation — and with exact budget sums it equals the headroom lost
+// to synchronous peaks (Σ child peaks − own peak), the exact quantity the
+// asynchrony score drives down.
+//
+// Admissible headroom is computed bottom-up:
+//
+//	admissible(leaf)     = max(0, budget − peak)
+//	admissible(interior) = min(max(0, budget − peak), Σ admissible(children))
+//
+// and stranded(n) = max(0, budget − peak) − admissible(n). The
+// fragmentation rate of a level is Σ stranded over its nodes, normalized by
+// the level's total budget, so 0 means every advertised watt of headroom is
+// reachable and 1 means the level's whole capacity is stranded.
+
+// FragmentationRow is one level's share of a fragmentation report.
+type FragmentationRow struct {
+	// Level is the tier the row describes.
+	Level powertree.Level
+	// Capacity is Σ budget over the level's nodes.
+	Capacity float64
+	// Headroom is Σ max(0, budget − peak): the watts the level advertises
+	// as free.
+	Headroom float64
+	// Admissible is Σ admissible(n): the watts new load can actually reach
+	// through the level without tripping a breaker below it.
+	Admissible float64
+	// StrandedWatts is Headroom − Admissible.
+	StrandedWatts float64
+	// RatePct is 100 × StrandedWatts / Capacity — the power fragmentation
+	// rate of the level.
+	RatePct float64
+}
+
+// FragmentationRates computes the power-fragmentation rate of every level
+// of the tree in one bottom-up pass over a single aggregation. Leaves have
+// rate 0 by construction (nothing sits below their breakers); interior
+// levels accumulate the headroom their subtrees cannot deliver.
+func FragmentationRates(tree *powertree.Node, traces powertree.PowerFn) ([]FragmentationRow, error) {
+	aggs, err := tree.AggregateAll(traces)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: aggregating for fragmentation: %w", err)
+	}
+	return FragmentationRatesFrom(tree, aggs)
+}
+
+// FragmentationRatesFrom is FragmentationRates over an existing aggregation
+// snapshot (callers that already hold an Aggregates avoid the re-walk).
+func FragmentationRatesFrom(tree *powertree.Node, aggs *powertree.Aggregates) ([]FragmentationRow, error) {
+	admissible := make(map[*powertree.Node]float64)
+	var build func(n *powertree.Node) float64
+	build = func(n *powertree.Node) float64 {
+		head := n.Budget - aggs.Peak(n)
+		if head < 0 {
+			head = 0
+		}
+		adm := head
+		if !n.IsLeaf() {
+			var sum float64
+			for _, c := range n.Children {
+				sum += build(c)
+			}
+			if sum < adm {
+				adm = sum
+			}
+		}
+		admissible[n] = adm
+		return adm
+	}
+	build(tree)
+
+	out := make([]FragmentationRow, 0, len(powertree.Levels))
+	for _, level := range powertree.Levels {
+		nodes := tree.NodesAtLevel(level)
+		if len(nodes) == 0 {
+			continue
+		}
+		var row FragmentationRow
+		row.Level = level
+		for _, n := range nodes {
+			head := n.Budget - aggs.Peak(n)
+			if head < 0 {
+				head = 0
+			}
+			row.Capacity += n.Budget
+			row.Headroom += head
+			row.Admissible += admissible[n]
+		}
+		row.StrandedWatts = row.Headroom - row.Admissible
+		if row.Capacity <= 0 {
+			return nil, fmt.Errorf("%w: level %s has no capacity", ErrBudget, level)
+		}
+		row.RatePct = 100 * row.StrandedWatts / row.Capacity
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FragmentationRate returns one level's power-fragmentation rate in percent.
+func FragmentationRate(tree *powertree.Node, traces powertree.PowerFn, level powertree.Level) (float64, error) {
+	rows, err := FragmentationRates(tree, traces)
+	if err != nil {
+		return 0, err
+	}
+	for _, row := range rows {
+		if row.Level == level {
+			return row.RatePct, nil
+		}
+	}
+	return 0, fmt.Errorf("metrics: tree has no nodes at level %s", level)
+}

@@ -15,3 +15,16 @@ var (
 	obsRemapSpan = obs.Default().Span("smoothop_placement_remap_seconds",
 		"Wall time of one Remap invocation.")
 )
+
+// Online placement metrics. Admissions and retirements are counted once per
+// completed call; a rejected admission (no feasible leaf) counts only on the
+// rejection counter. Experiments running policies concurrently increment
+// these from several goroutines, which is safe and keeps the totals exact.
+var (
+	obsAdmissions = obs.Default().Counter("smoothop_placement_admissions_total",
+		"Instances admitted by online placement.")
+	obsAdmissionRejects = obs.Default().Counter("smoothop_placement_admission_rejections_total",
+		"Online admissions rejected because no leaf could host without a breaker violation.")
+	obsRetirements = obs.Default().Counter("smoothop_placement_retirements_total",
+		"Instances retired by online placement.")
+)

@@ -1,0 +1,390 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/powertree"
+	"repro/internal/score"
+	"repro/internal/timeseries"
+)
+
+// This file implements online (arrival-stream) placement. The batch placers
+// in placement.go populate an empty tree from a full fleet snapshot;
+// production fleets churn, so the online placer admits and retires one
+// instance at a time against a live, already-populated tree. Feasibility is
+// breaker-driven: an arriving instance may land on a leaf only if the leaf
+// and every ancestor stay within budget once the instance's I-trace is added
+// to their aggregates. Which feasible leaf wins is the policy's choice; the
+// asynchrony-aware policy reuses the differential score of §3.6 so arrivals
+// keep smoothing node aggregates instead of re-fragmenting them.
+
+// Errors returned by online placement.
+var (
+	ErrNoCapacity      = errors.New("placement: no leaf can admit the instance without a breaker violation")
+	ErrAlreadyAdmitted = errors.New("placement: instance already admitted")
+	ErrUnknownInstance = errors.New("placement: instance not admitted")
+	ErrNilPolicy       = errors.New("placement: online placer needs a policy")
+)
+
+// OnlineCandidate is one feasible leaf offered to an online policy.
+type OnlineCandidate struct {
+	// Leaf is the candidate host node.
+	Leaf *powertree.Node
+	// Residents are the traces of the instances currently on the leaf, in
+	// attachment order. The slice is shared with the placer's internal
+	// state and must not be mutated.
+	Residents []timeseries.Series
+	// PostPeak is the peak of the leaf's aggregate trace after admitting
+	// the arriving instance.
+	PostPeak float64
+	// Headroom is Leaf.Budget − PostPeak (≥ 0 for a feasible candidate).
+	Headroom float64
+}
+
+// OnlinePolicy picks which feasible leaf hosts an arriving instance.
+// Implementations must be deterministic given their configuration and the
+// sequence of Choose calls.
+type OnlinePolicy interface {
+	// Name identifies the policy in reports and experiment tables.
+	Name() string
+	// Choose returns the index of the winning candidate. cands is never
+	// empty and is ordered by tree (leaf) order.
+	Choose(cands []OnlineCandidate, inst Instance, trace timeseries.Series) (int, error)
+}
+
+// OnlinePlacer admits and retires instances one at a time against a live
+// tree, maintaining whatever incremental state its policy needs between
+// calls.
+type OnlinePlacer interface {
+	// Admit places the instance on a feasible leaf and returns it.
+	Admit(inst Instance) (*powertree.Node, error)
+	// Retire removes a previously admitted (or pre-existing) instance and
+	// returns the leaf that hosted it.
+	Retire(id string) (*powertree.Node, error)
+}
+
+// Online is the concrete OnlinePlacer. It snapshots the tree's current
+// residents at construction and then maintains per-leaf resident trace sets
+// and per-node aggregate traces incrementally: an admission adds one trace
+// to the leaf's set and to the aggregates along the leaf's root path, a
+// retirement rebuilds only that same path. No full-tree re-aggregation ever
+// happens after construction.
+type Online struct {
+	tree   *powertree.Node
+	traces TraceFn
+	policy OnlinePolicy
+
+	// agg is every node's aggregate power trace (Empty when the subtree
+	// hosts no instances).
+	agg map[*powertree.Node]timeseries.Series
+	// residents holds per-leaf traces parallel to leaf.Instances.
+	residents map[*powertree.Node][]timeseries.Series
+	// leafOf locates every admitted instance's hosting leaf.
+	leafOf map[string]*powertree.Node
+	leaves []*powertree.Node
+}
+
+// NewOnline wraps a live (possibly already populated) tree for online
+// placement. Every resident instance's trace must resolve through traces.
+func NewOnline(tree *powertree.Node, traces TraceFn, policy OnlinePolicy) (*Online, error) {
+	if policy == nil {
+		return nil, ErrNilPolicy
+	}
+	leaves := tree.Leaves()
+	if len(leaves) == 0 {
+		return nil, ErrNoLeaves
+	}
+	o := &Online{
+		tree:      tree,
+		traces:    traces,
+		policy:    policy,
+		agg:       make(map[*powertree.Node]timeseries.Series),
+		residents: make(map[*powertree.Node][]timeseries.Series, len(leaves)),
+		leafOf:    make(map[string]*powertree.Node),
+		leaves:    leaves,
+	}
+	for _, leaf := range leaves {
+		trs := make([]timeseries.Series, 0, len(leaf.Instances))
+		for _, id := range leaf.Instances {
+			tr, ok := traces(id)
+			if !ok {
+				return nil, fmt.Errorf("%w for resident instance %q", ErrMissingTrace, id)
+			}
+			trs = append(trs, tr)
+			o.leafOf[id] = leaf
+		}
+		o.residents[leaf] = trs
+	}
+	if err := o.rebuildAll(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Tree returns the live tree the placer operates on.
+func (o *Online) Tree() *powertree.Node { return o.tree }
+
+// Aggregate returns the node's current aggregate power trace (Empty when
+// the subtree hosts no instances). The series is owned by the placer and
+// must not be mutated.
+func (o *Online) Aggregate(n *powertree.Node) timeseries.Series { return o.agg[n] }
+
+// Leaf reports which leaf hosts an admitted (or pre-existing) instance.
+func (o *Online) Leaf(id string) (*powertree.Node, bool) {
+	leaf, ok := o.leafOf[id]
+	return leaf, ok
+}
+
+// rebuildAll recomputes every node's aggregate bottom-up from the resident
+// trace sets (construction and full-invalidation path).
+func (o *Online) rebuildAll() error {
+	var build func(n *powertree.Node) error
+	build = func(n *powertree.Node) error {
+		for _, c := range n.Children {
+			if err := build(c); err != nil {
+				return err
+			}
+		}
+		return o.rebuildNode(n)
+	}
+	return build(o.tree)
+}
+
+// rebuildNode recomputes one node's aggregate from its own residents (leaf)
+// or its children's aggregates (interior), which must already be current.
+func (o *Online) rebuildNode(n *powertree.Node) error {
+	var agg timeseries.Series
+	started := false
+	fold := func(tr timeseries.Series) error {
+		if tr.Empty() {
+			return nil
+		}
+		if !started {
+			agg = tr.Clone()
+			started = true
+			return nil
+		}
+		return agg.AddInPlace(tr)
+	}
+	if n.IsLeaf() {
+		for _, tr := range o.residents[n] {
+			if err := fold(tr); err != nil {
+				return fmt.Errorf("placement: aggregating leaf %q: %w", n.Name, err)
+			}
+		}
+	} else {
+		for _, c := range n.Children {
+			if err := fold(o.agg[c]); err != nil {
+				return fmt.Errorf("placement: aggregating node %q: %w", n.Name, err)
+			}
+		}
+	}
+	o.agg[n] = agg
+	return nil
+}
+
+// peakWith returns the peak of agg + tr without materializing the sum.
+func peakWith(agg, tr timeseries.Series) (float64, error) {
+	if agg.Empty() {
+		return tr.Peak(), nil
+	}
+	if agg.Len() != tr.Len() || !agg.Start.Equal(tr.Start) || agg.Step != tr.Step {
+		return 0, fmt.Errorf("placement: arriving trace misaligned with aggregate (%d@%v vs %d@%v)",
+			tr.Len(), tr.Step, agg.Len(), agg.Step)
+	}
+	peak := math.Inf(-1)
+	for i, v := range agg.Values {
+		if s := v + tr.Values[i]; s > peak {
+			peak = s
+		}
+	}
+	return peak, nil
+}
+
+// feasibleLeaves collects the leaves that can admit tr without a breaker
+// violation anywhere on their root path, pruning whole subtrees at the
+// first interior node that cannot absorb the instance. Candidates come
+// back in tree (leaf) order.
+func (o *Online) feasibleLeaves(tr timeseries.Series) ([]OnlineCandidate, error) {
+	var cands []OnlineCandidate
+	var walk func(n *powertree.Node) error
+	walk = func(n *powertree.Node) error {
+		post, err := peakWith(o.agg[n], tr)
+		if err != nil {
+			return err
+		}
+		if post > n.Budget {
+			return nil // this node's breaker would trip; nothing below fits
+		}
+		if n.IsLeaf() {
+			cands = append(cands, OnlineCandidate{
+				Leaf:      n,
+				Residents: o.residents[n],
+				PostPeak:  post,
+				Headroom:  n.Budget - post,
+			})
+			return nil
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(o.tree); err != nil {
+		return nil, err
+	}
+	return cands, nil
+}
+
+// Admit implements OnlinePlacer. The instance's trace is resolved through
+// the placer's TraceFn; a missing trace is ErrMissingTrace (callers with a
+// quarantine path substitute a reference trace in their TraceFn instead).
+func (o *Online) Admit(inst Instance) (*powertree.Node, error) {
+	if _, ok := o.leafOf[inst.ID]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrAlreadyAdmitted, inst.ID)
+	}
+	tr, ok := o.traces(inst.ID)
+	if !ok {
+		return nil, fmt.Errorf("%w for instance %q", ErrMissingTrace, inst.ID)
+	}
+	cands, err := o.feasibleLeaves(tr)
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		obsAdmissionRejects.Inc()
+		return nil, fmt.Errorf("%w: %q", ErrNoCapacity, inst.ID)
+	}
+	idx, err := o.policy.Choose(cands, inst, tr)
+	if err != nil {
+		return nil, fmt.Errorf("placement: policy %q choosing for %q: %w", o.policy.Name(), inst.ID, err)
+	}
+	if idx < 0 || idx >= len(cands) {
+		return nil, fmt.Errorf("placement: policy %q chose candidate %d of %d", o.policy.Name(), idx, len(cands))
+	}
+	leaf := cands[idx].Leaf
+	if err := leaf.Attach(inst.ID); err != nil {
+		return nil, err
+	}
+	o.residents[leaf] = append(o.residents[leaf], tr)
+	o.leafOf[inst.ID] = leaf
+	// Fold the new trace into the aggregates along the leaf's root path.
+	for n := leaf; n != nil; n = n.Parent() {
+		agg := o.agg[n]
+		if agg.Empty() {
+			o.agg[n] = tr.Clone()
+			continue
+		}
+		if err := agg.AddInPlace(tr); err != nil {
+			return nil, fmt.Errorf("placement: updating aggregate at %q: %w", n.Name, err)
+		}
+		o.agg[n] = agg
+	}
+	obsAdmissions.Inc()
+	return leaf, nil
+}
+
+// Retire implements OnlinePlacer: it detaches the instance and rebuilds the
+// aggregates along its leaf's root path only.
+func (o *Online) Retire(id string) (*powertree.Node, error) {
+	leaf, ok := o.leafOf[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, id)
+	}
+	idx := -1
+	for i, rid := range leaf.Instances {
+		if rid == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || !leaf.Detach(id) {
+		return nil, fmt.Errorf("placement: retire bookkeeping failed for %q", id)
+	}
+	trs := o.residents[leaf]
+	o.residents[leaf] = append(trs[:idx:idx], trs[idx+1:]...)
+	delete(o.leafOf, id)
+	for n := leaf; n != nil; n = n.Parent() {
+		if err := o.rebuildNode(n); err != nil {
+			return nil, err
+		}
+	}
+	obsRetirements.Inc()
+	return leaf, nil
+}
+
+// ---------------------------------------------------------------- policies
+
+// OnlineRandom is the arrival-stream baseline that picks uniformly among
+// the feasible leaves from a seeded stream — the FGD evaluation's "Random"
+// policy translated to power trees.
+type OnlineRandom struct {
+	rng *rand.Rand
+}
+
+// NewOnlineRandom returns a random policy with a fixed decision stream.
+func NewOnlineRandom(seed int64) *OnlineRandom {
+	return &OnlineRandom{rng: newRand(seed)}
+}
+
+// Name implements OnlinePolicy.
+func (p *OnlineRandom) Name() string { return "random" }
+
+// Choose implements OnlinePolicy.
+func (p *OnlineRandom) Choose(cands []OnlineCandidate, _ Instance, _ timeseries.Series) (int, error) {
+	return p.rng.Intn(len(cands)), nil
+}
+
+// OnlineBestFit packs each arrival onto the feasible leaf it fills
+// tightest: minimal post-admit headroom, ties to the earlier leaf in tree
+// order. This is the classic best-fit bin-packing baseline.
+type OnlineBestFit struct{}
+
+// Name implements OnlinePolicy.
+func (OnlineBestFit) Name() string { return "best-fit" }
+
+// Choose implements OnlinePolicy.
+func (OnlineBestFit) Choose(cands []OnlineCandidate, _ Instance, _ timeseries.Series) (int, error) {
+	best, bestHead := 0, math.Inf(1)
+	for i, c := range cands {
+		if c.Headroom < bestHead {
+			best, bestHead = i, c.Headroom
+		}
+	}
+	return best, nil
+}
+
+// OnlineAsynchrony is the workload-aware policy: the arrival lands on the
+// feasible leaf whose residents it is most asynchronous with, measured by
+// the differential asynchrony score of §3.6 (score.Differential) — exactly
+// the quantity Remap maximizes when it repairs drift, applied at admission
+// time instead. Empty leaves score +Inf (a lone instance cannot overlap
+// with anything); ties break toward the tighter fit, then tree order.
+type OnlineAsynchrony struct{}
+
+// Name implements OnlinePolicy.
+func (OnlineAsynchrony) Name() string { return "asynchrony" }
+
+// Choose implements OnlinePolicy.
+func (OnlineAsynchrony) Choose(cands []OnlineCandidate, _ Instance, tr timeseries.Series) (int, error) {
+	best, bestScore, bestHead := -1, math.Inf(-1), math.Inf(1)
+	for i, c := range cands {
+		s := math.Inf(1)
+		if len(c.Residents) > 0 {
+			var err error
+			s, err = score.Differential(tr, c.Residents)
+			if err != nil {
+				return 0, fmt.Errorf("differential against %q: %w", c.Leaf.Name, err)
+			}
+		}
+		if s > bestScore || (s == bestScore && c.Headroom < bestHead) {
+			best, bestScore, bestHead = i, s, c.Headroom
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,255 @@
+package placement
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/powertree"
+	"repro/internal/timeseries"
+)
+
+// onlinePolicies returns a fresh instance of every online policy (random
+// policies carry a decision stream, so tests must not share them between
+// runs).
+func onlinePolicies() []OnlinePolicy {
+	return []OnlinePolicy{NewOnlineRandom(7), OnlineBestFit{}, OnlineAsynchrony{}}
+}
+
+func TestOnlineAdmitsWholeFleet(t *testing.T) {
+	for _, policy := range onlinePolicies() {
+		t.Run(policy.Name(), func(t *testing.T) {
+			instances, traces, tree := testFixture(t)
+			o, err := NewOnline(tree, traces, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, inst := range instances {
+				leaf, err := o.Admit(inst)
+				if err != nil {
+					t.Fatalf("admit %q: %v", inst.ID, err)
+				}
+				if leaf == nil || !leaf.IsLeaf() {
+					t.Fatalf("admit %q returned %v", inst.ID, leaf)
+				}
+			}
+			if err := Verify(tree, instances); err != nil {
+				t.Fatal(err)
+			}
+			// No breaker may be violated anywhere in the tree.
+			aggs, err := tree.AggregateAll(powertree.PowerFn(traces))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree.Walk(func(n *powertree.Node) {
+				if p := aggs.Peak(n); p > n.Budget {
+					t.Errorf("node %q peak %.1f exceeds budget %.1f", n.Name, p, n.Budget)
+				}
+			})
+			// The placer's incremental aggregates must agree with a fresh
+			// bottom-up aggregation (tiny float slack: the incremental path
+			// folds arrivals in admission order).
+			tree.Walk(func(n *powertree.Node) {
+				got := o.Aggregate(n).Peak()
+				want := aggs.Peak(n)
+				if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+					t.Errorf("node %q incremental peak %.9f, fresh %.9f", n.Name, got, want)
+				}
+			})
+		})
+	}
+}
+
+func TestOnlineStartsFromPopulatedTree(t *testing.T) {
+	instances, traces, tree := testFixture(t)
+	half := len(instances) / 2
+	if err := (Random{Seed: 3}).Place(tree, instances[:half], traces); err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnline(tree, traces, OnlineAsynchrony{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range instances[half:] {
+		if _, err := o.Admit(inst); err != nil {
+			t.Fatalf("admit %q onto populated tree: %v", inst.ID, err)
+		}
+	}
+	if err := Verify(tree, instances); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineRejectsWhenFull(t *testing.T) {
+	instances, traces, tree := testFixture(t)
+	// Budgets far below one instance's peak: nothing fits anywhere.
+	tree.Walk(func(n *powertree.Node) { n.Budget = 1 })
+	o, err := NewOnline(tree, traces, OnlineBestFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Admit(instances[0]); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("admit into zero-capacity tree: %v, want ErrNoCapacity", err)
+	}
+	if tree.InstanceCount() != 0 {
+		t.Fatal("rejected admission mutated the tree")
+	}
+}
+
+func TestOnlineRetireAndReadmit(t *testing.T) {
+	instances, traces, tree := testFixture(t)
+	o, err := NewOnline(tree, traces, OnlineAsynchrony{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range instances {
+		if _, err := o.Admit(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := instances[3]
+	leaf, err := o.Retire(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range leaf.Instances {
+		if id == victim.ID {
+			t.Fatalf("retired %q still attached to %q", victim.ID, leaf.Name)
+		}
+	}
+	if n := tree.InstanceCount(); n != len(instances)-1 {
+		t.Fatalf("after retire: %d instances, want %d", n, len(instances)-1)
+	}
+	if _, err := o.Retire(victim.ID); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("double retire: %v, want ErrUnknownInstance", err)
+	}
+	if _, err := o.Retire("no-such-instance"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("retire unknown: %v, want ErrUnknownInstance", err)
+	}
+	if _, err := o.Admit(victim); err != nil {
+		t.Fatalf("re-admit after retire: %v", err)
+	}
+	if err := Verify(tree, instances); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineRejectsDoubleAdmit(t *testing.T) {
+	instances, traces, tree := testFixture(t)
+	o, err := NewOnline(tree, traces, OnlineBestFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Admit(instances[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Admit(instances[0]); !errors.Is(err, ErrAlreadyAdmitted) {
+		t.Fatalf("double admit: %v, want ErrAlreadyAdmitted", err)
+	}
+}
+
+func TestOnlineMissingTrace(t *testing.T) {
+	instances, traces, tree := testFixture(t)
+	o, err := NewOnline(tree, traces, OnlineBestFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Admit(Instance{ID: "ghost", Service: "x"}); !errors.Is(err, ErrMissingTrace) {
+		t.Fatalf("admit without trace: %v, want ErrMissingTrace", err)
+	}
+	_ = instances
+}
+
+func TestOnlineDeterministicReplay(t *testing.T) {
+	for _, mk := range []func() OnlinePolicy{
+		func() OnlinePolicy { return NewOnlineRandom(11) },
+		func() OnlinePolicy { return OnlineBestFit{} },
+		func() OnlinePolicy { return OnlineAsynchrony{} },
+	} {
+		run := func() map[string]string {
+			instances, traces, tree := testFixture(t)
+			o, err := NewOnline(tree, traces, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			placedAt := make(map[string]string, len(instances))
+			for _, inst := range instances {
+				leaf, err := o.Admit(inst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				placedAt[inst.ID] = leaf.Name
+			}
+			return placedAt
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			t.Fatalf("replay sizes differ: %d vs %d", len(a), len(b))
+		}
+		for id, leaf := range a {
+			if b[id] != leaf {
+				t.Fatalf("replay diverged for %q: %q vs %q", id, leaf, b[id])
+			}
+		}
+	}
+}
+
+// TestOnlineAsynchronySpreadsSynchronousPairs pins the policy's core
+// behaviour on a hand-built case: two perfectly synchronous instances must
+// land on different leaves while a counter-phased third co-locates.
+func TestOnlineAsynchronySpreadsSynchronousPairs(t *testing.T) {
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "m", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2,
+		LeafBudget: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := make([]float64, 24)
+	night := make([]float64, 24)
+	for i := range day {
+		day[i], night[i] = 10, 10
+		if i >= 9 && i < 17 {
+			day[i] = 100
+		} else {
+			night[i] = 100
+		}
+	}
+	mk := func(vals []float64) timeseries.Series {
+		return timeseries.New(t0, time.Hour, vals)
+	}
+	traces := map[string]timeseries.Series{
+		"day-0":   mk(day),
+		"day-1":   mk(day),
+		"night-0": mk(night),
+	}
+	lookup := TraceFn(func(id string) (timeseries.Series, bool) {
+		tr, ok := traces[id]
+		return tr, ok
+	})
+	o, err := NewOnline(tree, lookup, OnlineAsynchrony{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := o.Admit(Instance{ID: "day-0", Service: "day"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := o.Admit(Instance{ID: "day-1", Service: "day"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l0 == l1 {
+		t.Fatalf("synchronous pair co-located on %q", l0.Name)
+	}
+	l2, err := o.Admit(Instance{ID: "night-0", Service: "night"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The counter-phased arrival must join one of the day instances (both
+	// leaves host exactly one day instance, so any choice co-locates).
+	if len(l2.Instances) != 2 {
+		t.Fatalf("counter-phased arrival got its own leaf: %v", l2.Instances)
+	}
+}

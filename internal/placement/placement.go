@@ -84,14 +84,29 @@ func checkEmpty(tree *powertree.Node) error {
 }
 
 // dealRoundRobin attaches instances to leaves one at a time in leaf order,
-// producing equal occupancy (±1).
-func dealRoundRobin(leaves []*powertree.Node, ids []string) error {
+// starting at leaf offset%len(leaves). A single deal over an empty tree is
+// balanced (±1) from any offset; repeated deals — as online admission makes —
+// stay balanced only if each call resumes where the previous one stopped,
+// so callers dealing onto occupied leaves must pass the occupancy so far
+// (see dealOccupancy) instead of restarting at leaf 0 and piling every
+// remainder onto the lowest-index leaves.
+func dealRoundRobin(leaves []*powertree.Node, ids []string, offset int) error {
 	for i, id := range ids {
-		if err := leaves[i%len(leaves)].Attach(id); err != nil {
+		if err := leaves[(offset+i)%len(leaves)].Attach(id); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// dealOccupancy is the round-robin resume point for a set of leaves: the
+// number of instances they already host.
+func dealOccupancy(leaves []*powertree.Node) int {
+	total := 0
+	for _, leaf := range leaves {
+		total += len(leaf.Instances)
+	}
+	return total
 }
 
 // Oblivious is the production-baseline placer: instances of the same
@@ -203,7 +218,8 @@ func (r Random) Place(tree *powertree.Node, instances []Instance, _ TraceFn) err
 	sort.Strings(ids)
 	rng := newRand(r.Seed)
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	return dealRoundRobin(tree.Leaves(), ids)
+	leaves := tree.Leaves()
+	return dealRoundRobin(leaves, ids, dealOccupancy(leaves))
 }
 
 // WorkloadAware is SmoothOperator's placer (§3.5).

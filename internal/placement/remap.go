@@ -2,6 +2,7 @@ package placement
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -26,15 +27,25 @@ type Swap struct {
 
 // RemapConfig tunes incremental remapping (§3.6).
 type RemapConfig struct {
-	// MaxSwaps bounds the number of accepted swaps; 0 means 32.
+	// MaxSwaps bounds the number of accepted swaps; 0 means 32. Negative is
+	// rejected with ErrBadMaxSwaps.
 	MaxSwaps int
 	// Level is the tier whose nodes are rebalanced; the paper remaps leaf
 	// (RPP) nodes. Defaults to RPP.
 	Level powertree.Level
 	// CandidateNodes bounds how many partner nodes are searched per swap,
-	// starting from the best-scoring nodes; 0 means all.
+	// starting from the best-scoring nodes; 0 means all. Negative is
+	// rejected with ErrBadCandidateNodes.
 	CandidateNodes int
 }
+
+// Errors returned for invalid remap configurations, following the
+// core.RuntimeConfig pattern: zero means the default, negative is a caller
+// bug and is rejected loudly instead of silently coerced.
+var (
+	ErrBadMaxSwaps       = errors.New("placement: MaxSwaps must not be negative")
+	ErrBadCandidateNodes = errors.New("placement: CandidateNodes must not be negative")
+)
 
 // Remap incrementally improves an existing placement in response to
 // workload drift. Following §3.6, it repeatedly: finds the node with the
@@ -44,9 +55,15 @@ type RemapConfig struct {
 // scores at both nodes. It stops when no improving swap exists or MaxSwaps
 // is reached, returning the accepted swaps.
 func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error) {
+	if cfg.MaxSwaps < 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadMaxSwaps, cfg.MaxSwaps)
+	}
+	if cfg.CandidateNodes < 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadCandidateNodes, cfg.CandidateNodes)
+	}
 	timer := obsRemapSpan.Start()
 	maxSwaps := cfg.MaxSwaps
-	if maxSwaps <= 0 {
+	if maxSwaps == 0 {
 		maxSwaps = 32
 	}
 	level := cfg.Level
@@ -60,28 +77,40 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 		return nil, nil
 	}
 
-	nodeTraces := func(n *powertree.Node) ([]string, []timeseries.Series, error) {
+	// Per-node cache of instance IDs, resolved traces and asynchrony score.
+	// Placements only change at the two nodes of an accepted swap, so only
+	// those two entries are ever invalidated; every other node's score is
+	// computed exactly once per Remap instead of once per iteration.
+	type nodeState struct {
+		ids []string
+		trs []timeseries.Series
+		s   float64
+	}
+	cache := make([]*nodeState, len(nodes))
+	stateOf := func(i int) (*nodeState, error) {
+		if cache[i] != nil {
+			return cache[i], nil
+		}
+		n := nodes[i]
 		ids := n.AllInstances()
-		out := make([]timeseries.Series, len(ids))
-		for i, id := range ids {
+		trs := make([]timeseries.Series, len(ids))
+		for j, id := range ids {
 			tr, ok := traces(id)
 			if !ok {
-				return nil, nil, fmt.Errorf("%w for instance %q", ErrMissingTrace, id)
+				return nil, fmt.Errorf("%w for instance %q", ErrMissingTrace, id)
 			}
-			out[i] = tr
+			trs[j] = tr
 		}
-		return ids, out, nil
-	}
-
-	nodeScore := func(n *powertree.Node) (float64, error) {
-		_, trs, err := nodeTraces(n)
-		if err != nil {
-			return 0, err
+		st := &nodeState{ids: ids, trs: trs, s: math.Inf(1)} // < 2 residents: nothing to defragment
+		if len(trs) >= 2 {
+			s, err := score.Asynchrony(trs...)
+			if err != nil {
+				return nil, err
+			}
+			st.s = s
 		}
-		if len(trs) < 2 {
-			return math.Inf(1), nil // nothing to defragment
-		}
-		return score.Asynchrony(trs...)
+		cache[i] = st
+		return st, nil
 	}
 
 	// differential of a candidate trace against a peer set.
@@ -101,23 +130,24 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 	for len(swaps) < maxSwaps {
 		// 1. Find the most fragmented node.
 		worstIdx, worstScore := -1, math.Inf(1)
-		for i, n := range nodes {
-			s, err := nodeScore(n)
+		for i := range nodes {
+			st, err := stateOf(i)
 			if err != nil {
 				return nil, err
 			}
-			if s < worstScore {
-				worstScore, worstIdx = s, i
+			if st.s < worstScore {
+				worstScore, worstIdx = st.s, i
 			}
 		}
 		if worstIdx < 0 || math.IsInf(worstScore, 1) {
 			break
 		}
 		worst := nodes[worstIdx]
-		wIDs, wTraces, err := nodeTraces(worst)
+		worstState, err := stateOf(worstIdx)
 		if err != nil {
 			return nil, err
 		}
+		wIDs, wTraces := worstState.ids, worstState.trs
 		if len(wIDs) < 2 {
 			break
 		}
@@ -150,15 +180,15 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 			s   float64
 		}
 		order := make([]scored, 0, len(nodes))
-		for i, n := range nodes {
+		for i := range nodes {
 			if i == worstIdx {
 				continue
 			}
-			s, err := nodeScore(n)
+			st, err := stateOf(i)
 			if err != nil {
 				return nil, err
 			}
-			order = append(order, scored{i, s})
+			order = append(order, scored{i, st.s})
 		}
 		sort.Slice(order, func(a, b int) bool { return order[a].s > order[b].s })
 		if cfg.CandidateNodes > 0 && len(order) > cfg.CandidateNodes {
@@ -168,10 +198,11 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 		found := false
 		for _, cand := range order {
 			partner := nodes[cand.idx]
-			pIDs, pTraces, err := nodeTraces(partner)
+			candState, err := stateOf(cand.idx)
 			if err != nil {
 				return nil, err
 			}
+			pIDs, pTraces := candState.ids, candState.trs
 			if len(pIDs) < 1 {
 				continue
 			}
@@ -203,6 +234,9 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 						NodeA: worst.Name, NodeB: partner.Name,
 						GainA: newA - curA, GainB: newB - curB,
 					})
+					// Only the two nodes touched by the swap changed;
+					// every other cached trace set and score stays valid.
+					cache[worstIdx], cache[cand.idx] = nil, nil
 					found = true
 					break
 				}

@@ -1,0 +1,308 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/powertree"
+	"repro/internal/score"
+	"repro/internal/timeseries"
+)
+
+// TestRemapConfigRejectsNegatives is the regression test for the silent
+// coercion bug: RemapConfig used to treat negative MaxSwaps/CandidateNodes
+// as "use the default" (a <= 0 check), hiding caller bugs. Negatives must
+// now fail loudly with the named errors, matching core.RuntimeConfig.
+func TestRemapConfigRejectsNegatives(t *testing.T) {
+	instances, traces, tree := testFixture(t)
+	if err := (Random{Seed: 1}).Place(tree, instances, traces); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  RemapConfig
+		want error
+	}{
+		{"negative MaxSwaps", RemapConfig{MaxSwaps: -1}, ErrBadMaxSwaps},
+		{"negative CandidateNodes", RemapConfig{CandidateNodes: -5}, ErrBadCandidateNodes},
+		{"both negative", RemapConfig{MaxSwaps: -2, CandidateNodes: -2}, ErrBadMaxSwaps},
+	}
+	for _, tc := range cases {
+		if _, err := Remap(tree.Clone(), traces, tc.cfg); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Remap err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Zero still means the default, not zero swaps.
+	if _, err := Remap(tree.Clone(), traces, RemapConfig{}); err != nil {
+		t.Fatalf("zero config must keep defaulting: %v", err)
+	}
+}
+
+// remapReference is a test-local copy of Remap as it stood before per-node
+// score caching: every node's trace set and asynchrony score recomputed
+// from scratch on each swap iteration. The equivalence test pins the cached
+// implementation bit-identical to this oracle.
+func remapReference(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error) {
+	maxSwaps := cfg.MaxSwaps
+	if maxSwaps <= 0 {
+		maxSwaps = 32
+	}
+	level := cfg.Level
+	if level == 0 {
+		level = powertree.RPP
+	}
+	nodes := tree.NodesAtLevel(level)
+	if len(nodes) < 2 {
+		return nil, nil
+	}
+	nodeTraces := func(n *powertree.Node) ([]string, []timeseries.Series, error) {
+		ids := n.AllInstances()
+		out := make([]timeseries.Series, len(ids))
+		for i, id := range ids {
+			tr, ok := traces(id)
+			if !ok {
+				return nil, nil, fmt.Errorf("%w for instance %q", ErrMissingTrace, id)
+			}
+			out[i] = tr
+		}
+		return ids, out, nil
+	}
+	nodeScore := func(n *powertree.Node) (float64, error) {
+		_, trs, err := nodeTraces(n)
+		if err != nil {
+			return 0, err
+		}
+		if len(trs) < 2 {
+			return math.Inf(1), nil
+		}
+		return score.Asynchrony(trs...)
+	}
+	diff := func(cand timeseries.Series, peers []timeseries.Series) float64 {
+		if len(peers) == 0 {
+			return math.Inf(1)
+		}
+		d, err := score.Differential(cand, peers)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return d
+	}
+	var swaps []Swap
+	for len(swaps) < maxSwaps {
+		worstIdx, worstScore := -1, math.Inf(1)
+		for i, n := range nodes {
+			s, err := nodeScore(n)
+			if err != nil {
+				return nil, err
+			}
+			if s < worstScore {
+				worstScore, worstIdx = s, i
+			}
+		}
+		if worstIdx < 0 || math.IsInf(worstScore, 1) {
+			break
+		}
+		worst := nodes[worstIdx]
+		wIDs, wTraces, err := nodeTraces(worst)
+		if err != nil {
+			return nil, err
+		}
+		if len(wIDs) < 2 {
+			break
+		}
+		peersOf := func(trs []timeseries.Series, skip int) []timeseries.Series {
+			peers := make([]timeseries.Series, 0, len(trs)-1)
+			for j, tr := range trs {
+				if j != skip {
+					peers = append(peers, tr)
+				}
+			}
+			return peers
+		}
+		victim, victimDiff := -1, math.Inf(1)
+		for i := range wIDs {
+			d := diff(wTraces[i], peersOf(wTraces, i))
+			if d < victimDiff {
+				victimDiff, victim = d, i
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		victimPeers := peersOf(wTraces, victim)
+		type scored struct {
+			idx int
+			s   float64
+		}
+		order := make([]scored, 0, len(nodes))
+		for i, n := range nodes {
+			if i == worstIdx {
+				continue
+			}
+			s, err := nodeScore(n)
+			if err != nil {
+				return nil, err
+			}
+			order = append(order, scored{i, s})
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a].s > order[b].s })
+		if cfg.CandidateNodes > 0 && len(order) > cfg.CandidateNodes {
+			order = order[:cfg.CandidateNodes]
+		}
+		found := false
+		for _, cand := range order {
+			partner := nodes[cand.idx]
+			pIDs, pTraces, err := nodeTraces(partner)
+			if err != nil {
+				return nil, err
+			}
+			if len(pIDs) < 1 {
+				continue
+			}
+			for j := range pIDs {
+				pPeers := peersOf(pTraces, j)
+				curA := victimDiff
+				curB := diff(pTraces[j], pPeers)
+				newA := diff(pTraces[j], victimPeers)
+				newB := diff(wTraces[victim], pPeers)
+				if newA > curA && newB > curB {
+					if !worst.Detach(wIDs[victim]) || !partner.Detach(pIDs[j]) {
+						return nil, fmt.Errorf("placement: swap bookkeeping failed")
+					}
+					if err := worst.Attach(pIDs[j]); err != nil {
+						return nil, err
+					}
+					if err := partner.Attach(wIDs[victim]); err != nil {
+						return nil, err
+					}
+					swaps = append(swaps, Swap{
+						InstanceA: wIDs[victim], InstanceB: pIDs[j],
+						NodeA: worst.Name, NodeB: partner.Name,
+						GainA: newA - curA, GainB: newB - curB,
+					})
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return swaps, nil
+}
+
+// TestRemapCachedScoringEquivalence pins the cached-scoring Remap
+// bit-identical to the pre-change recompute-everything implementation:
+// identical swap sequences (instances, nodes and float gains) and identical
+// final placements, across fragmented and already-smooth starting points.
+func TestRemapCachedScoringEquivalence(t *testing.T) {
+	instances, traces, tree := testFixture(t)
+	starts := map[string]Placer{
+		"oblivious": Oblivious{},
+		"random":    Random{Seed: 4},
+	}
+	cfgs := []RemapConfig{
+		{},
+		{MaxSwaps: 3},
+		{MaxSwaps: 16, CandidateNodes: 2},
+		{MaxSwaps: 64},
+	}
+	for name, placer := range starts {
+		base, err := powertree.Build(powertree.TopologySpec{
+			Name: "t", SuitesPerDC: 2, MSBsPerSuite: 2, SBsPerMSB: 1, RPPsPerSB: 3,
+			LeafBudget: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := placer.Place(base, instances, traces); err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			cachedTree, refTree := base.Clone(), base.Clone()
+			got, err := Remap(cachedTree, traces, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := remapReference(refTree, traces, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s %+v: %d swaps cached vs %d reference", name, cfg, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s %+v swap %d: cached %+v != reference %+v", name, cfg, i, got[i], want[i])
+				}
+			}
+			gotIDs := cachedTree.AllInstances()
+			wantIDs := refTree.AllInstances()
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("%s %+v: placements diverged", name, cfg)
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("%s %+v: placement slot %d: %q vs %q", name, cfg, i, gotIDs[i], wantIDs[i])
+				}
+			}
+		}
+	}
+	_ = tree
+}
+
+// TestDealRoundRobinResumesAcrossCalls is the distribution test for the
+// start-offset fix: dealing two batches with the second call resuming at
+// the occupancy left by the first must stay balanced (±1), where the old
+// always-start-at-leaf-0 behaviour piled both remainders onto the
+// lowest-index leaves.
+func TestDealRoundRobinResumesAcrossCalls(t *testing.T) {
+	tree, err := powertree.Build(powertree.TopologySpec{
+		Name: "d", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 5,
+		LeafBudget: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	batch := func(prefix string, n int) []string {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("%s-%d", prefix, i)
+		}
+		return ids
+	}
+	// Two batches of 7 over 5 leaves: each leaves a remainder of 2. With
+	// resume offsets the 14 instances spread 3/3/3/3/2; restarting at leaf 0
+	// would produce 4/4/2/2/2.
+	if err := dealRoundRobin(leaves, batch("a", 7), dealOccupancy(leaves)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dealRoundRobin(leaves, batch("b", 7), dealOccupancy(leaves)); err != nil {
+		t.Fatal(err)
+	}
+	min, max := math.MaxInt32, 0
+	for _, leaf := range leaves {
+		n := len(leaf.Instances)
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		counts := make([]int, len(leaves))
+		for i, leaf := range leaves {
+			counts[i] = len(leaf.Instances)
+		}
+		t.Fatalf("repeated deals unbalanced: %v", counts)
+	}
+}
