@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test test-race race cover bench bench-parallel bench-json bench-smoke smoke soak soak-short frag-sweep frag-sweep-short experiments ablations extensions fuzz fuzz-short clean
+.PHONY: all check build vet lint lint-annotate lint-json test test-race race cover bench bench-parallel bench-json bench-smoke smoke soak soak-short frag-sweep frag-sweep-short experiments ablations extensions fuzz fuzz-short clean
 
 all: check
 
@@ -20,9 +20,21 @@ vet:
 	$(GO) vet ./...
 
 # lint runs smoothoplint, the project's own static-analysis suite enforcing
-# the determinism and parallel-safety contracts (see DESIGN.md).
+# the determinism, parallel-safety and concurrency contracts (see DESIGN.md).
 lint:
 	$(GO) run ./cmd/smoothoplint ./...
+
+# lint-annotate renders the same findings as GitHub Actions workflow
+# commands, so CI surfaces them as inline PR annotations at the offending
+# lines. Exit status matches `make lint`.
+lint-annotate:
+	$(GO) run ./cmd/smoothoplint -format=github ./...
+
+# lint-json writes the findings as a machine-readable artifact
+# (smoothoplint.json) for tooling to diff; byte-stable across runs and
+# worker counts.
+lint-json:
+	$(GO) run ./cmd/smoothoplint -format=json ./... > smoothoplint.json
 
 test:
 	$(GO) test ./...

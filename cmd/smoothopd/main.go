@@ -175,17 +175,16 @@ func buildInjector(o options, tree *powertree.Node, trainEnd time.Time) (*faults
 		p = faults.Heavy(seed)
 	}
 	if o.faultDays > 0 {
-		p.ActiveFrom = trainEnd
-		p.ActiveFor = time.Duration(o.faultDays) * 24 * time.Hour
+		p = p.Activated(trainEnd, time.Duration(o.faultDays)*24*time.Hour)
 	}
 	// A backup feed at a quarter of nominal sits below typical leaf peaks,
 	// so the trip actually forces breaker re-checks and emergency capping.
-	p.Trips = []faults.TripWindow{{
+	p = p.WithTrips(faults.TripWindow{
 		Node:           tree.Leaves()[0].Name,
 		Start:          trainEnd.Add(24 * time.Hour),
 		Duration:       48 * time.Hour,
 		BudgetFraction: 0.25,
-	}}
+	})
 	return faults.New(p, o.step, tree)
 }
 

@@ -7,19 +7,27 @@
 //
 //	smoothoplint ./...                      # whole module (the make lint gate)
 //	smoothoplint -analyzers maprange ./...  # one analyzer
+//	smoothoplint -format=json ./...         # machine-readable diagnostics
+//	smoothoplint -format=github ./...       # GitHub Actions inline annotations
 //	smoothoplint -list                      # describe the suite
 //
-// The suite enforces the determinism and parallel-safety contracts of the
-// pipeline packages; see internal/analysis and DESIGN.md ("Static analysis
-// & determinism contract"). Diagnostics print as file:line:col and can be
-// suppressed with a //lint:allow <analyzer> comment on the same line or the
-// line above.
+// The suite enforces the determinism, parallel-safety and concurrency
+// contracts of the pipeline packages — including the annotation-driven
+// guardedby (//smoothop:guardedby <mutexField>), atomicmix and immutable
+// (//smoothop:immutable) analyzers; see internal/analysis and DESIGN.md
+// ("Static analysis & determinism contract"). Diagnostics print as
+// file:line:col (-format=text, the default), a JSON array (-format=json),
+// or ::error workflow commands (-format=github), and can be suppressed with
+// a //lint:allow <analyzer> comment on the same line or the line above.
+// Every format is deterministic: output is byte-stable across runs and
+// worker counts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -27,8 +35,11 @@ import (
 func main() {
 	var (
 		list      = flag.Bool("list", false, "describe the analyzers and exit")
-		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all; duplicates rejected)")
 		dir       = flag.String("dir", ".", "directory to resolve package patterns from")
+		format    = flag.String("format", analysis.FormatText,
+			"output format: "+strings.Join(analysis.Formats(), "|")+
+				" (json for tooling, github for Actions annotations)")
 	)
 	flag.Parse()
 	if *list {
@@ -42,6 +53,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smoothoplint:", err)
 		os.Exit(2)
 	}
+	// Validate the format before the (slow) load so a typo fails fast.
+	if err := analysis.WriteDiagnostics(nullWriter{}, *format, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "smoothoplint:", err)
+		os.Exit(2)
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -52,11 +68,17 @@ func main() {
 		os.Exit(2)
 	}
 	diags := analysis.Analyze(pkgs, suite)
-	for _, d := range diags {
-		fmt.Println(d)
+	if err := analysis.WriteDiagnostics(os.Stdout, *format, diags); err != nil {
+		fmt.Fprintln(os.Stderr, "smoothoplint:", err)
+		os.Exit(2)
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "smoothoplint: %d violation(s) in %d package(s) analyzed\n", n, len(pkgs))
 		os.Exit(1)
 	}
 }
+
+// nullWriter discards output; used to validate -format up front.
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -20,6 +20,13 @@
 //     the closure's index parameter.
 //   - errfmt: requires %w when wrapping an error and enforces the house
 //     error-string style (lowercase start, no trailing punctuation).
+//   - guardedby: fields annotated //smoothop:guardedby <mutexField> may only
+//     be accessed while that mutex is held (RLock suffices for reads).
+//   - atomicmix: forbids mixing sync/atomic and plain access to one
+//     variable, copying atomic values, and any atomic or obs-instrument
+//     operation inside internal/parallel task closures in pipeline packages.
+//   - immutable: types annotated //smoothop:immutable must have no mutating
+//     methods and no field writes outside their declaring file.
 //
 // A diagnostic can be suppressed with a trailing or preceding comment of
 // the form
@@ -32,6 +39,7 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -69,6 +77,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Index is the load-set-wide annotation index (smoothop:guardedby,
+	// smoothop:locked, smoothop:immutable), shared read-only by every pass
+	// so cross-package contracts are enforced.
+	Index *annotationIndex
+
 	exempt exemptions
 	diags  []Diagnostic
 }
@@ -93,10 +106,18 @@ func All() []*Analyzer {
 		MaprangeAnalyzer,
 		ParallelwriteAnalyzer,
 		ErrfmtAnalyzer,
+		GuardedbyAnalyzer,
+		AtomicmixAnalyzer,
+		ImmutableAnalyzer,
 	}
 }
 
+// ErrDuplicateAnalyzer is returned by ByName when a selection names the
+// same analyzer twice — running it twice would double-report every finding.
+var ErrDuplicateAnalyzer = errors.New("analysis: analyzer selected twice")
+
 // ByName resolves a comma-separated analyzer selection ("" selects all).
+// Unknown names are an error; so are duplicates (ErrDuplicateAnalyzer).
 func ByName(names string) ([]*Analyzer, error) {
 	if names == "" {
 		return All(), nil
@@ -105,6 +126,7 @@ func ByName(names string) ([]*Analyzer, error) {
 	for _, a := range All() {
 		byName[a.Name] = a
 	}
+	seen := make(map[string]bool)
 	var out []*Analyzer
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
@@ -112,6 +134,10 @@ func ByName(names string) ([]*Analyzer, error) {
 		if a == nil {
 			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
 		}
+		if seen[name] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateAnalyzer, name)
+		}
+		seen[name] = true
 		out = append(out, a)
 	}
 	return out, nil
@@ -151,6 +177,10 @@ func IsPipelinePackage(path string) bool {
 // repository's own parallel substrate; each (package, analyzer) pass writes
 // only its own slice, so the result is identical at any worker count.
 func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// The annotation index is built across the whole load set first, so a
+	// pass over one package can see contracts declared in another (e.g. a
+	// write in core to an immutable tracestore type).
+	index := buildAnnotationIndex(pkgs)
 	perPkg := make([][]Diagnostic, len(pkgs))
 	analyzePackages(pkgs, func(i int) {
 		pkg := pkgs[i]
@@ -162,6 +192,7 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Index:    index,
 				exempt:   ex,
 			}
 			a.Run(pass)

@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Concurrency-contract annotations. The sharded-runtime roadmap item turns
+// today's informally-documented locking and snapshot rules into load-bearing
+// invariants, so they are written down next to the code they protect and
+// machine-checked by the guardedby and immutable analyzers:
+//
+//	//smoothop:guardedby <mutexField>
+//	    On a struct field: the field may only be read or written while the
+//	    named sibling mutex (sync.Mutex or sync.RWMutex) is held. Reads are
+//	    also satisfied by RLock.
+//
+//	//smoothop:locked <mutexField>
+//	    On a method: the caller is responsible for holding the receiver's
+//	    named mutex; inside the method the mutex is treated as held.
+//
+//	//smoothop:immutable
+//	    On a type: values are frozen after construction. No method may
+//	    mutate state reachable from its receiver, and fields may only be
+//	    written in the type's declaring file (where its constructors live).
+//
+// Annotations are collected from every loaded package before analysis so
+// that, for example, a write in package core to an immutable tracestore
+// type is still caught: field and type identities are shared through the
+// type-checker, so the index is keyed by types.Object across the whole
+// load set.
+
+const (
+	guardedbyMarker = "smoothop:guardedby"
+	lockedMarker    = "smoothop:locked"
+	immutableMarker = "smoothop:immutable"
+)
+
+// immutableType records one //smoothop:immutable annotation.
+type immutableType struct {
+	name *types.TypeName
+	// declFile is the file declaring the type — its "constructor file",
+	// the one place post-construction field writes are permitted.
+	declFile string
+}
+
+// badAnnotation is a malformed annotation, reported by the analyzer that
+// owns the marker so the mistake fails the lint run instead of silently
+// disabling a contract.
+type badAnnotation struct {
+	analyzer string
+	pkg      string
+	pos      token.Pos
+	message  string
+}
+
+// annotationIndex is the load-set-wide view of every annotation.
+type annotationIndex struct {
+	// guards maps an annotated field to the sibling mutex field guarding it.
+	guards map[*types.Var]*types.Var
+	// mutexes is the set of fields named by some guardedby annotation, so
+	// the guardedby analyzer can cheaply recognize relevant Lock calls.
+	mutexes map[*types.Var]bool
+	// locked maps a function to the mutex fields its callers must hold.
+	locked map[*types.Func][]*types.Var
+	// immutable maps an annotated type to its record.
+	immutable map[*types.TypeName]*immutableType
+	// immutableFields maps every field of an annotated struct type to the
+	// owning type's record, for O(1) write checks.
+	immutableFields map[*types.Var]*immutableType
+	// bad collects malformed annotations for the owning analyzers to report.
+	bad []badAnnotation
+}
+
+func newAnnotationIndex() *annotationIndex {
+	return &annotationIndex{
+		guards:          make(map[*types.Var]*types.Var),
+		mutexes:         make(map[*types.Var]bool),
+		locked:          make(map[*types.Func][]*types.Var),
+		immutable:       make(map[*types.TypeName]*immutableType),
+		immutableFields: make(map[*types.Var]*immutableType),
+	}
+}
+
+// buildAnnotationIndex scans every package's AST for smoothop: markers.
+func buildAnnotationIndex(pkgs []*Package) *annotationIndex {
+	idx := newAnnotationIndex()
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			idx.collectFile(pkg, f)
+		}
+	}
+	return idx
+}
+
+// markerPayload extracts the payload of a //smoothop:<marker> directive from
+// a comment group ("" payload, true when the bare marker is present).
+func markerPayload(groups []*ast.CommentGroup, marker string) (string, token.Pos, bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			if !strings.HasPrefix(text, marker) {
+				continue
+			}
+			rest := text[len(marker):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // a longer marker, e.g. smoothop:guardedbyX
+			}
+			return strings.TrimSpace(rest), c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+func (idx *annotationIndex) collectFile(pkg *Package, f *ast.File) {
+	fileName := pkg.Fset.Position(f.Pos()).Filename
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				idx.collectType(pkg, d, ts, fileName)
+			}
+		case *ast.FuncDecl:
+			idx.collectFunc(pkg, d)
+		}
+	}
+}
+
+// collectType handles //smoothop:immutable on the type doc and
+// //smoothop:guardedby on the fields of a struct type.
+func (idx *annotationIndex) collectType(pkg *Package, gd *ast.GenDecl, ts *ast.TypeSpec, fileName string) {
+	st, isStruct := ts.Type.(*ast.StructType)
+
+	if payload, pos, ok := markerPayload([]*ast.CommentGroup{ts.Doc, gd.Doc, ts.Comment}, immutableMarker); ok {
+		switch {
+		case payload != "":
+			idx.bad = append(idx.bad, badAnnotation{
+				analyzer: "immutable", pkg: pkg.Path, pos: pos,
+				message: "smoothop:immutable takes no argument",
+			})
+		default:
+			tn, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if tn == nil {
+				break
+			}
+			rec := &immutableType{name: tn, declFile: fileName}
+			idx.immutable[tn] = rec
+			if isStruct {
+				idx.indexImmutableFields(pkg, st, rec)
+			}
+		}
+	}
+
+	if !isStruct {
+		return
+	}
+	for _, field := range st.Fields.List {
+		payload, pos, ok := markerPayload([]*ast.CommentGroup{field.Doc, field.Comment}, guardedbyMarker)
+		if !ok {
+			continue
+		}
+		mu := idx.lookupMutexField(pkg, st, payload)
+		if mu == nil {
+			idx.bad = append(idx.bad, badAnnotation{
+				analyzer: "guardedby", pkg: pkg.Path, pos: pos,
+				message: "smoothop:guardedby must name a sync.Mutex or sync.RWMutex field of the same struct, got " + strconvQuote(payload),
+			})
+			continue
+		}
+		for _, name := range field.Names {
+			if fv, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				idx.guards[fv] = mu
+				idx.mutexes[mu] = true
+			}
+		}
+	}
+}
+
+// indexImmutableFields records every named field of an immutable struct.
+func (idx *annotationIndex) indexImmutableFields(pkg *Package, st *ast.StructType, rec *immutableType) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if fv, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				idx.immutableFields[fv] = rec
+			}
+		}
+	}
+}
+
+// collectFunc handles //smoothop:locked on method declarations.
+func (idx *annotationIndex) collectFunc(pkg *Package, fd *ast.FuncDecl) {
+	payload, pos, ok := markerPayload([]*ast.CommentGroup{fd.Doc}, lockedMarker)
+	if !ok {
+		return
+	}
+	bad := func(msg string) {
+		idx.bad = append(idx.bad, badAnnotation{analyzer: "guardedby", pkg: pkg.Path, pos: pos, message: msg})
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		bad("smoothop:locked annotates methods; " + fd.Name.Name + " has no receiver")
+		return
+	}
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	recvType := fn.Type().(*types.Signature).Recv().Type()
+	st := structOf(recvType)
+	if st == nil {
+		bad("smoothop:locked needs a struct receiver")
+		return
+	}
+	var mus []*types.Var
+	for _, name := range strings.Fields(payload) {
+		mu := structField(st, name)
+		if mu == nil || !isMutexType(mu.Type()) {
+			bad("smoothop:locked must name a sync.Mutex or sync.RWMutex field of the receiver, got " + strconvQuote(name))
+			return
+		}
+		mus = append(mus, mu)
+	}
+	if len(mus) == 0 {
+		bad("smoothop:locked needs the mutex field name")
+		return
+	}
+	idx.locked[fn] = mus
+}
+
+// lookupMutexField resolves a guardedby payload against the struct's fields.
+func (idx *annotationIndex) lookupMutexField(pkg *Package, st *ast.StructType, payload string) *types.Var {
+	fields := strings.Fields(payload)
+	if len(fields) != 1 {
+		return nil
+	}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != fields[0] {
+				continue
+			}
+			fv, ok := pkg.Info.Defs[name].(*types.Var)
+			if ok && isMutexType(fv.Type()) {
+				return fv
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a pointer to
+// either.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isRWMutexType reports whether t is sync.RWMutex (or a pointer to it).
+func isRWMutexType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "RWMutex"
+}
+
+// structOf unwraps pointers and named types down to a struct type, or nil.
+func structOf(t types.Type) *types.Struct {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// structField finds a field of st by name.
+func structField(st *types.Struct, name string) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// reportBadAnnotations emits the malformed-annotation findings belonging to
+// this pass's analyzer and package.
+func reportBadAnnotations(p *Pass) {
+	for _, b := range p.Index.bad {
+		if b.analyzer == p.Analyzer.Name && b.pkg == p.Pkg.Path() {
+			p.Reportf(b.pos, "%s", b.message)
+		}
+	}
+}
+
+// strconvQuote is a tiny local quote helper (avoids importing strconv for
+// one call site and keeps messages readable for empty payloads).
+func strconvQuote(s string) string {
+	return `"` + s + `"`
+}

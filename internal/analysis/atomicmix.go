@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicmixAnalyzer enforces atomic-access discipline:
+//
+//  1. A variable or field touched through sync/atomic functions anywhere in
+//     the package (atomic.AddUint64(&x, ...) and friends) must never be
+//     accessed with a plain read or write elsewhere in the package — mixed
+//     access is a data race the race detector only catches on exercised
+//     schedules.
+//  2. Values of the sync/atomic types (atomic.Uint64, atomic.Int64, ...)
+//     must not be copied by assignment; they are touched only through their
+//     methods or by address.
+//  3. Inside task closures handed to internal/parallel entry points in
+//     pipeline packages, atomic operations — sync/atomic calls, methods on
+//     sync/atomic types, and the internal/obs instruments built on them —
+//     are forbidden outright: their interleaving is schedule-dependent, so
+//     they reintroduce exactly the run-to-run observability the
+//     bit-identical replay contract forbids. Update metrics after the
+//     fan-out returns, from the collected per-index results.
+var AtomicmixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc: "forbid mixing sync/atomic and plain access to the same variable, copying atomic values, " +
+		"and any atomic/obs operation inside internal/parallel task closures in pipeline packages",
+	Run: runAtomicmix,
+}
+
+// obsPkgSuffix identifies the repository's metrics package by import-path
+// suffix, like parallelPkgSuffix, so fixtures can stub it.
+const obsPkgSuffix = "internal/obs"
+
+func runAtomicmix(p *Pass) {
+	atomicObjs, sanctioned := collectAtomicTouches(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return false // the atomic call's own &x argument
+			}
+			switch e := n.(type) {
+			case *ast.Ident:
+				obj := p.Info.Uses[e]
+				if obj != nil && atomicObjs[obj] {
+					p.Reportf(e.Pos(), "%s is accessed via sync/atomic elsewhere in this package; mixing in a plain read/write is a data race — use the atomic API everywhere", e.Name)
+				}
+			case *ast.AssignStmt:
+				checkAtomicCopy(p, e)
+			case *ast.CallExpr:
+				if isParallelEntry(p.Info, e) {
+					for _, arg := range e.Args {
+						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+							checkClosureAtomics(p, lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectAtomicTouches finds every object passed by address to a sync/atomic
+// function, plus the exact AST nodes of those sanctioned arguments.
+func collectAtomicTouches(p *Pass) (map[types.Object]bool, map[ast.Node]bool) {
+	objs := make(map[types.Object]bool)
+	sanctioned := make(map[ast.Node]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if id := baseIdent(u.X); id != nil {
+					// Track the field/var actually addressed: for &s.cnt that
+					// is the field cnt, for &v the variable v.
+					target := ast.Unparen(u.X)
+					var obj types.Object
+					if sel, ok := target.(*ast.SelectorExpr); ok {
+						obj = objectOf(p.Info, sel.Sel)
+					} else {
+						obj = objectOf(p.Info, id)
+					}
+					if obj != nil {
+						objs[obj] = true
+						sanctioned[arg] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return objs, sanctioned
+}
+
+// checkAtomicCopy flags assignments that copy a sync/atomic value.
+func checkAtomicCopy(p *Pass, stmt *ast.AssignStmt) {
+	for _, rhs := range stmt.Rhs {
+		if t := p.Info.TypeOf(ast.Unparen(rhs)); isAtomicType(t) {
+			p.Reportf(rhs.Pos(), "copying a %s value detaches it from its address; access atomics only through their methods", typeShort(t))
+		}
+	}
+	if stmt.Tok != token.ASSIGN {
+		return
+	}
+	for _, lhs := range stmt.Lhs {
+		if t := p.Info.TypeOf(ast.Unparen(lhs)); isAtomicType(t) {
+			p.Reportf(lhs.Pos(), "assigning over a %s value replaces it non-atomically; access atomics only through their methods", typeShort(t))
+		}
+	}
+}
+
+// isParallelEntry reports a call to an internal/parallel entry point.
+func isParallelEntry(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcFor(info, call)
+	return fn != nil && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), parallelPkgSuffix)
+}
+
+// checkClosureAtomics walks one task closure (pipeline packages only) for
+// atomic and obs-instrument operations.
+func checkClosureAtomics(p *Pass, lit *ast.FuncLit) {
+	if !IsPipelinePackage(p.Pkg.Path()) {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[e]
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				// Package-level functions only; methods on atomic types are
+				// reported by the CallExpr branch below.
+				if fn.Type().(*types.Signature).Recv() == nil {
+					p.Reportf(e.Pos(), "atomic.%s inside a parallel task closure is schedule-dependent; move the update outside the fan-out", fn.Name())
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := objectOf(p.Info, sel.Sel).(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			recv := sig.Recv().Type()
+			if isAtomicType(recv) {
+				p.Reportf(e.Pos(), "%s on an atomic value inside a parallel task closure is schedule-dependent; move the update outside the fan-out", fn.Name())
+			} else if named := namedOf(recv); named != nil {
+				if pkg := named.Obj().Pkg(); pkg != nil && strings.HasSuffix(pkg.Path(), obsPkgSuffix) {
+					p.Reportf(e.Pos(), "%s.%s inside a parallel task closure makes metrics schedule-dependent; count per index and fold after the fan-out returns", named.Obj().Name(), fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAtomicType reports whether t (or its pointee) is a named type from
+// sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// namedOf unwraps pointers down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typeShort renders a type without its package path for messages.
+func typeShort(t types.Type) string {
+	if named := namedOf(t); named != nil {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return pkg.Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}

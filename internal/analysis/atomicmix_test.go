@@ -1,0 +1,172 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestAtomicmixMixedAccessFires(t *testing.T) {
+	src := `package demo
+
+import "sync/atomic"
+
+type hits struct {
+	count uint64
+}
+
+func (h *hits) record() {
+	atomic.AddUint64(&h.count, 1)
+}
+
+func (h *hits) total() uint64 {
+	return h.count
+}
+`
+	diags := checkFixture(t, analysis.AtomicmixAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.AtomicmixAnalyzer, 14)
+}
+
+func TestAtomicmixConsistentAtomicIsClean(t *testing.T) {
+	src := `package demo
+
+import "sync/atomic"
+
+type hits struct {
+	count uint64
+}
+
+func (h *hits) record() {
+	atomic.AddUint64(&h.count, 1)
+}
+
+func (h *hits) total() uint64 {
+	return atomic.LoadUint64(&h.count)
+}
+`
+	wantClean(t, checkFixture(t, analysis.AtomicmixAnalyzer, "repro/internal/demo", src))
+}
+
+func TestAtomicmixCopyFires(t *testing.T) {
+	src := `package demo
+
+import "sync/atomic"
+
+type stats struct {
+	calls atomic.Int64
+}
+
+func snapshot(s *stats) atomic.Int64 {
+	c := s.calls
+	return c
+}
+
+func reset(s *stats) {
+	s.calls = atomic.Int64{}
+}
+`
+	// Line 10: copy on the rhs; line 11 returns the copy (another rhs read is
+	// not an AssignStmt so only the copy and the overwrite fire); line 15:
+	// assigning over the value.
+	diags := checkFixture(t, analysis.AtomicmixAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.AtomicmixAnalyzer, 10, 15, 15)
+}
+
+func TestAtomicmixClosureAtomicsFire(t *testing.T) {
+	src := `package demo
+
+import (
+	"context"
+	"sync/atomic"
+
+	"example.com/fake/internal/parallel"
+)
+
+func tally(xs []float64) (uint64, error) {
+	var hits atomic.Uint64
+	err := parallel.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		if xs[i] > 0 {
+			hits.Add(1)
+		}
+		return nil
+	})
+	return hits.Load(), err
+}
+`
+	diags := checkFixture(t, analysis.AtomicmixAnalyzer, "repro/internal/score", src, parallelDep(t))
+	wantDiags(t, diags, analysis.AtomicmixAnalyzer, 14)
+}
+
+func TestAtomicmixClosureObsInstrumentFires(t *testing.T) {
+	obsStub := `package obs
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() { c.n++ }
+`
+	obsPkg, err := analysis.LoadSource("example.com/fake/internal/obs", map[string]string{"obs.go": obsStub})
+	if err != nil {
+		t.Fatalf("LoadSource(obs stub): %v", err)
+	}
+	src := `package demo
+
+import (
+	"context"
+
+	"example.com/fake/internal/obs"
+	"example.com/fake/internal/parallel"
+)
+
+func walk(xs []float64, c *obs.Counter) error {
+	return parallel.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		c.Inc()
+		return nil
+	})
+}
+`
+	diags := checkFixture(t, analysis.AtomicmixAnalyzer, "repro/internal/score", src, parallelDep(t), obsPkg)
+	wantDiags(t, diags, analysis.AtomicmixAnalyzer, 12)
+}
+
+func TestAtomicmixClosureCleanOutsidePipeline(t *testing.T) {
+	src := `package httpapi
+
+import (
+	"context"
+	"sync/atomic"
+
+	"example.com/fake/internal/parallel"
+)
+
+func tally(xs []float64) (uint64, error) {
+	var hits atomic.Uint64
+	err := parallel.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		hits.Add(1)
+		return nil
+	})
+	return hits.Load(), err
+}
+`
+	// The closure rule only applies in pipeline packages.
+	wantClean(t, checkFixture(t, analysis.AtomicmixAnalyzer, "repro/internal/httpapi", src, parallelDep(t)))
+}
+
+func TestAtomicmixAllowComment(t *testing.T) {
+	src := `package demo
+
+import "sync/atomic"
+
+type hits struct {
+	count uint64
+}
+
+func (h *hits) record() {
+	atomic.AddUint64(&h.count, 1)
+}
+
+func (h *hits) estimate() uint64 {
+	return h.count //lint:allow atomicmix racy hint read
+}
+`
+	wantClean(t, checkFixture(t, analysis.AtomicmixAnalyzer, "repro/internal/demo", src))
+}

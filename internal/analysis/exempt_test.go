@@ -1,0 +1,81 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The exemption grammar: //lint:allow <analyzer>[,<analyzer>...] [reason].
+// These tests pin the edge cases the grammar promises: multi-analyzer lists
+// with a reason, the line-above form over multi-line statements, and the
+// rule that an allow for one analyzer never silences another.
+
+func TestExemptMultiAnalyzerListWithReason(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	hits map[string]int
+}
+
+func (c *counter) drain() int {
+	total := 0
+	for _, v := range c.hits { //lint:allow guardedby,maprange startup path, single-threaded
+		total += v
+	}
+	return total
+}
+`
+	// One comment suppresses both analyzers at that line.
+	wantClean(t, checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src))
+	wantClean(t, checkFixture(t, analysis.MaprangeAnalyzer, "repro/internal/demo", src))
+}
+
+func TestExemptLineAboveMultiLineStatement(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	a, b int
+}
+
+func (c *counter) sum() int {
+	//lint:allow guardedby snapshot read, torn values acceptable
+	return c.a +
+		c.b
+}
+`
+	// The allow on the line above covers line 13 (c.a) but NOT line 14: the
+	// read of c.b on the continuation line still fires. This pins the
+	// documented scope — own line and line directly below, nothing further.
+	diags := checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.GuardedbyAnalyzer, 14)
+}
+
+func TestExemptUnknownAnalyzerNameDoesNotSuppressOthers(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	n int
+}
+
+func (c *counter) peek() int {
+	return c.n //lint:allow guardedbye typo'd analyzer name
+}
+`
+	// "guardedbye" is not "guardedby": exemptions are exact-match, so the
+	// diagnostic survives a typo instead of silently vanishing.
+	diags := checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.GuardedbyAnalyzer, 12)
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Output formats for diagnostics. All three are deterministic functions of
+// the (already position-sorted) diagnostic slice, so a lint run's output is
+// byte-stable across runs and worker counts — CI can diff it, and the
+// format tests pin it.
+
+// Format names accepted by cmd/smoothoplint -format.
+const (
+	FormatText   = "text"   // file:line:col: analyzer: message (the default)
+	FormatJSON   = "json"   // a JSON array of diagnostic objects, for tooling
+	FormatGitHub = "github" // ::error workflow commands, for inline PR annotations
+)
+
+// Formats lists the accepted format names in display order.
+func Formats() []string { return []string{FormatText, FormatJSON, FormatGitHub} }
+
+// WriteDiagnostics renders diags in the named format. Unknown formats are
+// an error naming the accepted set.
+func WriteDiagnostics(w io.Writer, format string, diags []Diagnostic) error {
+	switch format {
+	case FormatText, "":
+		return WriteText(w, diags)
+	case FormatJSON:
+		return WriteJSON(w, diags)
+	case FormatGitHub:
+		return WriteGitHub(w, diags)
+	default:
+		return fmt.Errorf("analysis: unknown output format %q (want %s)", format, strings.Join(Formats(), "|"))
+	}
+}
+
+// WriteText writes the classic one-line-per-diagnostic form.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonDiagnostic is the wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes the diagnostics as an indented JSON array (an empty
+// slice renders as [] so consumers always get valid JSON), followed by a
+// newline.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// githubEscaper escapes the characters the workflow-command grammar
+// reserves in message data and in property values.
+var (
+	githubDataEscaper = strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	githubPropEscaper = strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+)
+
+// WriteGitHub writes one ::error workflow command per diagnostic, which the
+// GitHub Actions runner turns into an inline PR annotation at the offending
+// line.
+func WriteGitHub(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=smoothoplint/%s::%s\n",
+			githubPropEscaper.Replace(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+			githubPropEscaper.Replace(d.Analyzer), githubDataEscaper.Replace(d.Message))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

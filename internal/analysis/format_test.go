@@ -1,0 +1,146 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/parallel"
+)
+
+// formatFixtures builds a small multi-package load set with known findings
+// in more than one file, so the ordering contract (file, line, col,
+// analyzer) is actually exercised.
+func formatFixtures(t *testing.T) []*analysis.Package {
+	t.Helper()
+	a, err := analysis.LoadSource("repro/internal/demoa", map[string]string{"a.go": `package demoa
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	n int
+}
+
+func (c *counter) peek() int { return c.n }
+`})
+	if err != nil {
+		t.Fatalf("LoadSource(demoa): %v", err)
+	}
+	b, err := analysis.LoadSource("repro/internal/demob", map[string]string{"b.go": `package demob
+
+import "sync/atomic"
+
+type hits struct{ count uint64 }
+
+func (h *hits) record()       { atomic.AddUint64(&h.count, 1) }
+func (h *hits) total() uint64 { return h.count }
+`})
+	if err != nil {
+		t.Fatalf("LoadSource(demob): %v", err)
+	}
+	return []*analysis.Package{a, b}
+}
+
+// render runs the suite over the fixtures at a pinned worker count and
+// returns the diagnostics rendered in the given format.
+func render(t *testing.T, pkgs []*analysis.Package, workers, format string) string {
+	t.Helper()
+	t.Setenv(parallel.EnvWorkers, workers)
+	diags := analysis.Analyze(pkgs, analysis.All())
+	if len(diags) < 2 {
+		t.Fatalf("fixture produced %d diagnostics, want at least 2 for an ordering test", len(diags))
+	}
+	var buf strings.Builder
+	if err := analysis.WriteDiagnostics(&buf, format, diags); err != nil {
+		t.Fatalf("WriteDiagnostics(%s): %v", format, err)
+	}
+	return buf.String()
+}
+
+// TestFormatsAreByteStable pins the machine-readable contract: every format
+// is byte-identical across repeated runs and across worker counts 1 and 8.
+func TestFormatsAreByteStable(t *testing.T) {
+	pkgs := formatFixtures(t)
+	for _, format := range analysis.Formats() {
+		base := render(t, pkgs, "1", format)
+		for _, workers := range []string{"1", "8"} {
+			for run := 0; run < 2; run++ {
+				if got := render(t, pkgs, workers, format); got != base {
+					t.Errorf("format %s at workers=%s run %d diverged:\n--- want\n%s--- got\n%s",
+						format, workers, run, base, got)
+				}
+			}
+		}
+	}
+}
+
+func TestFormatJSONShape(t *testing.T) {
+	pkgs := formatFixtures(t)
+	out := render(t, pkgs, "1", analysis.FormatJSON)
+	for _, want := range []string{
+		`"file": "a.go"`,
+		`"line": 11`,
+		`"analyzer": "guardedby"`,
+		`"file": "b.go"`,
+		`"analyzer": "atomicmix"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out)
+		}
+	}
+	// a.go sorts before b.go: ordering is by file, then line/col/analyzer.
+	if strings.Index(out, `"a.go"`) > strings.Index(out, `"b.go"`) {
+		t.Errorf("JSON output not ordered by file:\n%s", out)
+	}
+}
+
+func TestFormatJSONEmptyIsArray(t *testing.T) {
+	var buf strings.Builder
+	if err := analysis.WriteDiagnostics(&buf, analysis.FormatJSON, nil); err != nil {
+		t.Fatalf("WriteDiagnostics: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty JSON = %q, want []", got)
+	}
+}
+
+func TestFormatGitHubShape(t *testing.T) {
+	pkgs := formatFixtures(t)
+	out := render(t, pkgs, "1", analysis.FormatGitHub)
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "::error file=") {
+			t.Errorf("github line is not a workflow command: %q", line)
+		}
+		if !strings.Contains(line, ",title=smoothoplint/") {
+			t.Errorf("github line missing analyzer title: %q", line)
+		}
+	}
+}
+
+func TestFormatGitHubEscapesMessageData(t *testing.T) {
+	var buf strings.Builder
+	diags := []analysis.Diagnostic{{Analyzer: "demo", Message: "50% of runs\nbroke"}}
+	if err := analysis.WriteDiagnostics(&buf, analysis.FormatGitHub, diags); err != nil {
+		t.Fatalf("WriteDiagnostics: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "50%25 of runs%0Abroke") {
+		t.Errorf("workflow-command data not escaped: %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("embedded newline leaked into the command stream: %q", out)
+	}
+}
+
+func TestFormatUnknownIsError(t *testing.T) {
+	var buf strings.Builder
+	err := analysis.WriteDiagnostics(&buf, "xml", nil)
+	if err == nil {
+		t.Fatal("WriteDiagnostics accepted an unknown format")
+	}
+	if !strings.Contains(err.Error(), "text|json|github") {
+		t.Errorf("unknown-format error should list the accepted set, got %v", err)
+	}
+}

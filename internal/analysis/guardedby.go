@@ -1,0 +1,445 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GuardedbyAnalyzer enforces //smoothop:guardedby annotations: a field so
+// annotated may only be read or written while its named sibling mutex is
+// held. Holding is tracked per function through Lock/Unlock/RLock/RUnlock
+// calls (a deferred Unlock keeps the mutex held to function end), with
+// branch- and loop-aware merging: state changes inside a block that always
+// returns do not leak past it, and state after a conditional is the
+// intersection of the surviving paths. A method annotated
+// //smoothop:locked <mutexField> is analyzed as if the mutex were held on
+// entry — the caller's obligation. Reads are also satisfied by RLock;
+// writes need the full Lock. Closures launched with `go` start with no
+// locks held (the goroutine does not inherit the spawner's critical
+// section); other closures inherit the state at their definition point.
+var GuardedbyAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated //smoothop:guardedby <mutexField> may only be accessed while that " +
+		"mutex is held (RLock suffices for reads); annotate caller-locked helpers //smoothop:locked <mutexField>",
+	Run: runGuardedby,
+}
+
+func runGuardedby(p *Pass) {
+	reportBadAnnotations(p)
+	if len(p.Index.guards) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := &guardWalker{pass: p}
+			st := lockState{}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				for _, mu := range p.Index.locked[fn] {
+					// The annotation names a field of the receiver; bind it to
+					// the receiver object so accesses through it match.
+					if recv := receiverObject(p.Info, fd); recv != nil {
+						st = st.with(lockKey{recv, mu}, heldWrite)
+					}
+				}
+			}
+			g.walkStmts(fd.Body.List, st)
+		}
+	}
+}
+
+// lockKey identifies one mutex instance: the root variable the lock lives
+// on plus the mutex field itself (so s.mu and t.mu are distinct).
+type lockKey struct {
+	root types.Object
+	mu   *types.Var
+}
+
+// hold levels.
+type hold uint8
+
+const (
+	heldNone hold = iota
+	heldRead
+	heldWrite
+)
+
+// lockState maps held mutexes. It is treated as immutable: updates copy.
+type lockState map[lockKey]hold
+
+func (s lockState) with(k lockKey, h hold) lockState {
+	ns := make(lockState, len(s)+1)
+	for key, v := range s {
+		ns[key] = v
+	}
+	if h == heldNone {
+		delete(ns, k)
+	} else {
+		ns[k] = h
+	}
+	return ns
+}
+
+// intersect keeps the weaker of the two holds for every key.
+func intersect(a, b lockState) lockState {
+	out := lockState{}
+	for k, ha := range a {
+		if hb := b[k]; hb != heldNone && ha != heldNone {
+			h := ha
+			if hb < h {
+				h = hb
+			}
+			out[k] = h
+		}
+	}
+	return out
+}
+
+// guardWalker carries the pass through one function body.
+type guardWalker struct {
+	pass *Pass
+}
+
+// walkStmts runs the statement list from state st, returning the state at
+// fall-through and whether the list always terminates (return/branch/panic).
+func (g *guardWalker) walkStmts(stmts []ast.Stmt, st lockState) (lockState, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		st, terminated = g.walkStmt(stmt, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (g *guardWalker) walkStmt(stmt ast.Stmt, st lockState) (lockState, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, h, ok := g.lockOp(s.X); ok {
+			g.scanLockReceiver(s.X, st)
+			return st.with(key, h), false
+		}
+		g.scan(s.X, st, false)
+		if isPanicCall(g.pass.Info, s.X) {
+			return st, true
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			g.scan(rhs, st, false)
+		}
+		for _, lhs := range s.Lhs {
+			if s.Tok == token.DEFINE {
+				// A define still reads sub-expressions (indexes, selectors on
+				// existing values) but creates no guarded write.
+				g.scan(lhs, st, false)
+				continue
+			}
+			g.scanWrite(lhs, st)
+		}
+	case *ast.IncDecStmt:
+		g.scanWrite(s.X, st)
+	case *ast.DeferStmt:
+		if key, h, ok := g.lockOp(s.Call); ok {
+			if h == heldNone {
+				// Deferred unlock: the mutex stays held until the function
+				// returns; nothing to change on the linear path.
+				return st, false
+			}
+			return st.with(key, h), false // defer mu.Lock() — unusual, honor it
+		}
+		g.scan(s.Call, st, false)
+	case *ast.GoStmt:
+		// The goroutine body runs outside this critical section.
+		for _, arg := range s.Call.Args {
+			g.scan(arg, st, false)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			g.walkStmts(lit.Body.List, lockState{})
+		} else {
+			g.scan(s.Call.Fun, st, false)
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			g.scan(res, st, false)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.BlockStmt:
+		return g.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return g.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		return g.walkIf(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = g.walkStmt(s.Init, st)
+		}
+		g.scan(s.Cond, st, false)
+		bodyOut, _ := g.walkStmts(s.Body.List, st)
+		if s.Post != nil {
+			g.walkStmt(s.Post, bodyOut)
+		}
+		// The body may have run zero or more times.
+		return intersect(st, bodyOut), false
+	case *ast.RangeStmt:
+		g.scan(s.X, st, false)
+		bodyOut, _ := g.walkStmts(s.Body.List, st)
+		return intersect(st, bodyOut), false
+	case *ast.SwitchStmt:
+		return g.walkCases(s.Init, s.Tag, s.Body, st)
+	case *ast.TypeSwitchStmt:
+		return g.walkCases(s.Init, nil, s.Body, st)
+	case *ast.SelectStmt:
+		return g.walkCases(nil, nil, s.Body, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						g.scan(v, st, false)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		g.scan(s.Chan, st, false)
+		g.scan(s.Value, st, false)
+	case *ast.EmptyStmt:
+	}
+	return st, false
+}
+
+// walkIf merges the if/else arms: a terminating arm contributes nothing to
+// the fall-through state, so early-return unlock paths do not poison the
+// main path.
+func (g *guardWalker) walkIf(s *ast.IfStmt, st lockState) (lockState, bool) {
+	if s.Init != nil {
+		st, _ = g.walkStmt(s.Init, st)
+	}
+	g.scan(s.Cond, st, false)
+	thenOut, thenTerm := g.walkStmts(s.Body.List, st)
+	elseOut, elseTerm := st, false
+	if s.Else != nil {
+		elseOut, elseTerm = g.walkStmt(s.Else, st)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return st, true
+	case thenTerm:
+		return elseOut, false
+	case elseTerm:
+		return thenOut, false
+	default:
+		return intersect(thenOut, elseOut), false
+	}
+}
+
+// walkCases merges switch/select clauses the same way: the fall-through
+// state is the intersection of every non-terminating clause and the entry
+// state (no clause may match).
+func (g *guardWalker) walkCases(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, st lockState) (lockState, bool) {
+	if init != nil {
+		st, _ = g.walkStmt(init, st)
+	}
+	g.scan(tag, st, false)
+	out := st
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				g.scan(e, st, false)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				g.walkStmt(c.Comm, st)
+			}
+			stmts = c.Body
+		}
+		clauseOut, term := g.walkStmts(stmts, st)
+		if !term {
+			out = intersect(out, clauseOut)
+		}
+	}
+	return out, false
+}
+
+// lockOp recognizes root.mu.Lock/Unlock/RLock/RUnlock calls on a mutex that
+// guards at least one annotated field, returning the resulting hold.
+func (g *guardWalker) lockOp(expr ast.Expr) (lockKey, hold, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return lockKey{}, heldNone, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, heldNone, false
+	}
+	var h hold
+	var release bool
+	switch sel.Sel.Name {
+	case "Lock":
+		h = heldWrite
+	case "RLock":
+		h = heldRead
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return lockKey{}, heldNone, false
+	}
+	mu, root := g.mutexFieldOf(sel.X)
+	if mu == nil || !g.pass.Index.mutexes[mu] {
+		return lockKey{}, heldNone, false
+	}
+	if release {
+		h = heldNone
+	}
+	return lockKey{root, mu}, h, true
+}
+
+// mutexFieldOf resolves the receiver expression of a Lock call (e.g. `r.mu`
+// or `(&r.mu)`) to the mutex field var and the root object it hangs off.
+func (g *guardWalker) mutexFieldOf(expr ast.Expr) (*types.Var, types.Object) {
+	expr = ast.Unparen(expr)
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		expr = ast.Unparen(u.X)
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fv, ok := objectOf(g.pass.Info, sel.Sel).(*types.Var)
+	if !ok || !fv.IsField() {
+		return nil, nil
+	}
+	root := baseIdent(sel.X)
+	if root == nil {
+		return nil, nil
+	}
+	return fv, objectOf(g.pass.Info, root)
+}
+
+// scanLockReceiver checks the receiver chain of a lock call for guarded
+// accesses (e.g. s.inner.mu.Lock() reads s.inner), without treating the
+// mutex selector itself as an access.
+func (g *guardWalker) scanLockReceiver(expr ast.Expr, st lockState) {
+	if call, ok := ast.Unparen(expr).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+				g.scan(inner.X, st, false)
+			}
+		}
+	}
+}
+
+// scanWrite checks one lvalue: a guarded field anywhere in the chain — the
+// field itself or an element reached through it — requires the write lock.
+func (g *guardWalker) scanWrite(lhs ast.Expr, st lockState) {
+	expr := lhs
+	for {
+		expr = ast.Unparen(expr)
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if g.checkAccess(e, st, true) {
+				// The guarded field is judged as a write; anything deeper in
+				// the chain is ordinary reads.
+				g.scan(e.X, st, false)
+				return
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			g.scan(e.Index, st, false)
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			g.scan(expr, st, false)
+			return
+		}
+	}
+}
+
+// scan inspects an expression subtree, reporting guarded accesses. Func
+// literals are analyzed with the state at their definition point.
+func (g *guardWalker) scan(expr ast.Expr, st lockState, _ bool) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			g.walkStmts(e.Body.List, st)
+			return false
+		case *ast.SelectorExpr:
+			g.checkAccess(e, st, false)
+		}
+		return true
+	})
+}
+
+// checkAccess reports an unguarded access to an annotated field and returns
+// whether the selector named a guarded field.
+func (g *guardWalker) checkAccess(sel *ast.SelectorExpr, st lockState, write bool) bool {
+	fv, ok := objectOf(g.pass.Info, sel.Sel).(*types.Var)
+	if !ok {
+		return false
+	}
+	mu, guarded := g.pass.Index.guards[fv]
+	if !guarded {
+		return false
+	}
+	root := baseIdent(sel.X)
+	if root == nil {
+		return false
+	}
+	rootObj := objectOf(g.pass.Info, root)
+	h := st[lockKey{rootObj, mu}]
+	if h == heldWrite || (!write && h == heldRead) {
+		return true
+	}
+	verb := "read"
+	need := mu.Name() + ".RLock or " + mu.Name() + ".Lock"
+	if !isRWMutexType(mu.Type()) {
+		need = mu.Name() + ".Lock"
+	}
+	if write {
+		verb = "written"
+		need = mu.Name() + ".Lock"
+	}
+	g.pass.Reportf(sel.Sel.Pos(), "field %s is guarded by %s and %s without holding it; hold %s or annotate the method //smoothop:locked %s",
+		fv.Name(), mu.Name(), verb, need, mu.Name())
+	return true
+}
+
+// receiverObject returns the declared receiver variable of a method.
+func receiverObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	return info.Defs[name]
+}
+
+// isPanicCall reports a call to the builtin panic.
+func isPanicCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

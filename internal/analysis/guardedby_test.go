@@ -1,0 +1,253 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestGuardedbyFires(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	n int
+}
+
+func (c *counter) bad() int {
+	return c.n
+}
+
+func (c *counter) badWrite() {
+	c.n++
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+`
+	diags := checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.GuardedbyAnalyzer, 12, 16)
+}
+
+func TestGuardedbyRWMutexReadsAndWrites(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type store struct {
+	mu sync.RWMutex
+	// smoothop:guardedby mu
+	items map[string]int
+}
+
+func (s *store) get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items[k]
+}
+
+func (s *store) putUnderRLock(k string, v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.items[k] = v
+}
+
+func (s *store) put(k string, v int) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.mu.Unlock()
+}
+`
+	// A write under RLock is still a violation; reads under RLock are fine.
+	diags := checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.GuardedbyAnalyzer, 20)
+}
+
+func TestGuardedbyUnlockEndsCriticalSection(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	n int
+}
+
+func (c *counter) bad() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n
+}
+`
+	diags := checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.GuardedbyAnalyzer, 14)
+}
+
+func TestGuardedbyEarlyReturnBranch(t *testing.T) {
+	// The tracestore.SnapshotQuality shape: an early-unlock-and-return
+	// branch must not poison the main path, and the main path's accesses
+	// after the branch are still under the original RLock.
+	src := `package demo
+
+import "sync"
+
+type store struct {
+	mu sync.RWMutex
+	// smoothop:guardedby mu
+	items map[string]int
+}
+
+func (s *store) lookup(k string) (int, bool) {
+	s.mu.RLock()
+	v, ok := s.items[k]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	w := s.items[k] + v
+	s.mu.RUnlock()
+	return w, true
+}
+`
+	wantClean(t, checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src))
+}
+
+func TestGuardedbyConditionalLockIsNotHeld(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	n int
+}
+
+func (c *counter) maybe(lock bool) int {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n
+}
+`
+	// After the if, the lock is only held on one path: intersection drops it.
+	diags := checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.GuardedbyAnalyzer, 16)
+}
+
+func TestGuardedbyLockedAnnotation(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	n int
+}
+
+// bump assumes the caller locked the counter.
+//
+// smoothop:locked mu
+func (c *counter) bump() {
+	c.n++
+}
+
+func (c *counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+`
+	wantClean(t, checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src))
+}
+
+func TestGuardedbyGoroutineDropsLocks(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	n int
+}
+
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++
+	}()
+}
+`
+	// The goroutine body runs outside the spawner's critical section.
+	diags := checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.GuardedbyAnalyzer, 15)
+}
+
+func TestGuardedbyDistinctReceiversAreDistinctLocks(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	n int
+}
+
+func transfer(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	b.n++
+}
+`
+	// Holding a.mu says nothing about b.n.
+	diags := checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.GuardedbyAnalyzer, 15)
+}
+
+func TestGuardedbyBadAnnotation(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby lock
+	n int
+}
+
+var _ = sync.Mutex{}
+`
+	diags := checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.GuardedbyAnalyzer, 7)
+}
+
+func TestGuardedbyAllowComment(t *testing.T) {
+	src := `package demo
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// smoothop:guardedby mu
+	n int
+}
+
+func (c *counter) estimate() int {
+	return c.n //lint:allow guardedby racy read is acceptable for a hint
+}
+`
+	wantClean(t, checkFixture(t, analysis.GuardedbyAnalyzer, "repro/internal/demo", src))
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ImmutableAnalyzer enforces //smoothop:immutable annotations: the
+// snapshot, quality and config types handed to HTTP readers and what-if
+// queries are frozen after construction. Concretely:
+//
+//   - No method of the type may write state reachable from its receiver —
+//     not a field, not an element of a map/slice field, not through a
+//     pointer field. A "setter" on an immutable type is a contract bug
+//     wherever it lives.
+//   - Field writes on values of the type are only allowed in the type's
+//     declaring file, where its constructors live. Anywhere else —
+//     including other packages, since annotations are indexed across the
+//     whole load set — a post-construction write is reported.
+//
+// Together with guardedby this is what makes copy-on-write snapshots
+// statically verifiable: a reader holding an immutable snapshot value needs
+// no lock, because no code path can mutate it.
+var ImmutableAnalyzer = &Analyzer{
+	Name: "immutable",
+	Doc: "types annotated //smoothop:immutable must have no mutating methods and no " +
+		"field writes outside their declaring (constructor) file",
+	Run: runImmutable,
+}
+
+func runImmutable(p *Pass) {
+	reportBadAnnotations(p)
+	if len(p.Index.immutable) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		fileName := p.Fset.Position(f.Pos()).Filename
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var recvObj types.Object
+			if rec := immutableReceiver(p, fd); rec != nil {
+				checkImmutableMethod(p, fd, rec)
+				recvObj = receiverObject(p.Info, fd)
+			}
+			checkImmutableWrites(p, fd.Body, fileName, recvObj)
+		}
+	}
+}
+
+// immutableReceiver returns the record when fd is a method on an annotated
+// type.
+func immutableReceiver(p *Pass, fd *ast.FuncDecl) *immutableType {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return nil
+	}
+	return p.Index.immutable[named.Obj()]
+}
+
+// checkImmutableMethod forbids writes through the receiver anywhere in a
+// method of an immutable type.
+func checkImmutableMethod(p *Pass, fd *ast.FuncDecl, rec *immutableType) {
+	recvObj := receiverObject(p.Info, fd)
+	if recvObj == nil {
+		return // unnamed receiver cannot be written through
+	}
+	report := func(pos token.Pos) {
+		p.Reportf(pos, "method %s mutates receiver state of immutable type %s; immutable values must be rebuilt, not modified", fd.Name.Name, rec.name.Name())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if stmt.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range stmt.Lhs {
+				if writesThrough(p.Info, lhs, recvObj) {
+					report(lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesThrough(p.Info, stmt.X, recvObj) {
+				report(stmt.X.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// writesThrough reports whether an lvalue chain is rooted at obj and passes
+// through at least one selector or index (i.e. it mutates state reachable
+// from obj rather than rebinding a local variable named obj).
+func writesThrough(info *types.Info, lhs ast.Expr, obj types.Object) bool {
+	reaches := false
+	expr := lhs
+	for {
+		expr = ast.Unparen(expr)
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return reaches && objectOf(info, e) == obj
+		case *ast.SelectorExpr:
+			reaches = true
+			expr = e.X
+		case *ast.IndexExpr:
+			reaches = true
+			expr = e.X
+		case *ast.StarExpr:
+			reaches = true
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// checkImmutableWrites flags writes to fields of immutable types outside
+// their declaring file. Chains rooted at skipRecv are left to
+// checkImmutableMethod, which already reported them.
+func checkImmutableWrites(p *Pass, body *ast.BlockStmt, fileName string, skipRecv types.Object) {
+	check := func(lhs ast.Expr) {
+		if skipRecv != nil && writesThrough(p.Info, lhs, skipRecv) {
+			return
+		}
+		checkImmutableLvalue(p, lhs, fileName)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if stmt.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range stmt.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(stmt.X)
+		}
+		return true
+	})
+}
+
+// checkImmutableLvalue reports when the written chain selects a field of an
+// immutable type and the write is outside that type's declaring file.
+func checkImmutableLvalue(p *Pass, lhs ast.Expr, fileName string) {
+	expr := lhs
+	for {
+		expr = ast.Unparen(expr)
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if fv, ok := objectOf(p.Info, e.Sel).(*types.Var); ok {
+				if rec := p.Index.immutableFields[fv]; rec != nil && rec.declFile != fileName {
+					p.Reportf(e.Sel.Pos(), "write to field %s of immutable type %s outside its constructor file; build a new value instead", fv.Name(), rec.name.Name())
+					return
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return
+		}
+	}
+}

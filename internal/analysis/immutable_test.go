@@ -1,0 +1,130 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestImmutableMutatingMethodFires(t *testing.T) {
+	src := `package demo
+
+// Snapshot is a frozen view handed to readers.
+//
+// smoothop:immutable
+type Snapshot struct {
+	Total int
+	ByKey map[string]int
+}
+
+func (s *Snapshot) SetTotal(n int) {
+	s.Total = n
+}
+
+func (s *Snapshot) bump(k string) {
+	s.ByKey[k]++
+}
+
+func (s Snapshot) Sum() int {
+	return s.Total
+}
+`
+	diags := checkFixture(t, analysis.ImmutableAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.ImmutableAnalyzer, 12, 16)
+}
+
+func TestImmutableConstructorFileIsClean(t *testing.T) {
+	src := `package demo
+
+// smoothop:immutable
+type Snapshot struct {
+	Total int
+}
+
+func NewSnapshot(vals []int) *Snapshot {
+	s := &Snapshot{}
+	for _, v := range vals {
+		s.Total += v
+	}
+	return s
+}
+`
+	// Field writes in the declaring file are construction, not mutation.
+	wantClean(t, checkFixture(t, analysis.ImmutableAnalyzer, "repro/internal/demo", src))
+}
+
+func TestImmutableCrossPackageWriteFires(t *testing.T) {
+	depSrc := `package snap
+
+// smoothop:immutable
+type Snapshot struct {
+	Total int
+}
+`
+	dep, err := analysis.LoadSource("example.com/fake/internal/snap", map[string]string{"snap.go": depSrc})
+	if err != nil {
+		t.Fatalf("LoadSource(snap): %v", err)
+	}
+	src := `package demo
+
+import "example.com/fake/internal/snap"
+
+func tamper(s *snap.Snapshot) {
+	s.Total = 0
+}
+`
+	pkg, err := analysis.LoadSource("repro/internal/demo", map[string]string{"demo.go": src}, dep)
+	if err != nil {
+		t.Fatalf("LoadSource(demo): %v", err)
+	}
+	// The annotation lives in another package; with both packages in the
+	// load set the index carries it across the package boundary.
+	diags := analysis.Analyze([]*analysis.Package{dep, pkg}, []*analysis.Analyzer{analysis.ImmutableAnalyzer})
+	wantDiags(t, diags, analysis.ImmutableAnalyzer, 6)
+}
+
+func TestImmutableLocalRebindIsClean(t *testing.T) {
+	src := `package demo
+
+// smoothop:immutable
+type Config struct {
+	Workers int
+}
+
+func adjusted(c Config) Config {
+	c2 := c
+	c2 = Config{Workers: c.Workers + 1}
+	_ = c2
+	return c
+}
+`
+	// Rebinding a local variable of the type is not a field write.
+	wantClean(t, checkFixture(t, analysis.ImmutableAnalyzer, "repro/internal/demo", src))
+}
+
+func TestImmutableBadAnnotation(t *testing.T) {
+	src := `package demo
+
+// smoothop:immutable deeply
+type Config struct {
+	Workers int
+}
+`
+	diags := checkFixture(t, analysis.ImmutableAnalyzer, "repro/internal/demo", src)
+	wantDiags(t, diags, analysis.ImmutableAnalyzer, 3)
+}
+
+func TestImmutableAllowComment(t *testing.T) {
+	src := `package demo
+
+// smoothop:immutable
+type Snapshot struct {
+	Total int
+}
+
+func patch(s *Snapshot) {
+	s.Total = 0 //lint:allow immutable test-only backdoor
+}
+`
+	wantClean(t, checkFixture(t, analysis.ImmutableAnalyzer, "repro/internal/demo", src))
+}

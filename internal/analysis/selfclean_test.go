@@ -1,8 +1,10 @@
 package analysis_test
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -46,8 +48,8 @@ func TestRepoIsClean(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 4", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 7", len(all), err)
 	}
 	sub, err := analysis.ByName("maprange,errfmt")
 	if err != nil || len(sub) != 2 {
@@ -55,6 +57,40 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := analysis.ByName("nope"); err == nil {
 		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+func TestByNameRejectsDuplicates(t *testing.T) {
+	_, err := analysis.ByName("maprange,errfmt,maprange")
+	if !errors.Is(err, analysis.ErrDuplicateAnalyzer) {
+		t.Fatalf("ByName(dup) err = %v, want ErrDuplicateAnalyzer", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "maprange") {
+		t.Fatalf("duplicate error should name the analyzer, got %v", err)
+	}
+}
+
+// TestRepoPackageSetIncludesLinter guards the self-clean gate's coverage:
+// the analysis package and the lint CLI must themselves be in the analyzed
+// set, so the linter is held to its own contracts.
+func TestRepoPackageSetIncludesLinter(t *testing.T) {
+	pkgs, err := analysis.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	want := map[string]bool{
+		"repro/internal/analysis": false,
+		"repro/cmd/smoothoplint":  false,
+	}
+	for _, pkg := range pkgs {
+		if _, ok := want[pkg.Path]; ok {
+			want[pkg.Path] = true
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("self-clean load set is missing %s", path)
+		}
 	}
 }
 

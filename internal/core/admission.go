@@ -119,6 +119,8 @@ func (r *Runtime) RetireInstance(id string) (string, error) {
 // residents filled from reference traces, wrapped in a placement.Online with
 // the asynchrony-aware policy. The view is cached between admissions with
 // the same window and invalidated by Tick (remapping moves instances).
+//
+// smoothop:locked mu
 func (r *Runtime) ensureOnline(asOf time.Time, trainWeeks int) error {
 	if r.online != nil && r.onlineAsOf.Equal(asOf) && r.onlineWeeks == trainWeeks {
 		return nil
@@ -177,6 +179,8 @@ func (r *Runtime) residentTrace(id string, asOf time.Time, trainWeeks int) (time
 // averaged I-trace when healthy, otherwise its service's reference trace
 // (mean of healthy same-service residents, then the fleet-wide mean). The
 // boolean reports whether the fallback fired.
+//
+// smoothop:locked mu
 func (r *Runtime) admissionTrace(id, service string, asOf time.Time, trainWeeks int) (timeseries.Series, bool, error) {
 	tr, q, err := r.residentTrace(id, asOf, trainWeeks)
 	if err != nil {

@@ -88,7 +88,7 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 			Time        time.Time  `json:"time"`
 		}{
 			Status:      "ok",
-			Placed:      rt.placed,
+			Placed:      rt.Placed(),
 			Quarantined: quarantined,
 			ActiveTrips: make([]tripView, 0, len(trips)),
 			Emergency:   emergency,
@@ -109,6 +109,7 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 	}
 	status := func(w http.ResponseWriter, r *http.Request) {
 		tree := rt.Tree()
+		history := rt.History()
 		view := struct {
 			Placed      bool      `json:"placed"`
 			Instances   int       `json:"instances"`
@@ -118,15 +119,15 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 			LastTick    *tickView `json:"last_tick,omitempty"`
 			Time        time.Time `json:"time"`
 		}{
-			Placed:      rt.placed,
+			Placed:      rt.Placed(),
 			Instances:   tree.InstanceCount(),
 			Leaves:      len(tree.Leaves()),
-			Ticks:       len(rt.history),
-			Quarantined: len(rt.quarantined),
+			Ticks:       len(history),
+			Quarantined: len(rt.Quarantined()),
 			Time:        now().UTC(),
 		}
-		if n := len(rt.history); n > 0 {
-			view.LastTick = newTickView(rt.history[n-1])
+		if n := len(history); n > 0 {
+			view.LastTick = newTickView(history[n-1])
 		}
 		api.writeJSON(w, view)
 	}
@@ -142,8 +143,9 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 		_, _ = w.Write(buf.Bytes())
 	}
 	history := func(w http.ResponseWriter, r *http.Request) {
-		views := make([]*tickView, len(rt.history))
-		for i, rep := range rt.history {
+		reports := rt.History()
+		views := make([]*tickView, len(reports))
+		for i, rep := range reports {
 			views[i] = newTickView(rep)
 		}
 		api.writeJSON(w, views)

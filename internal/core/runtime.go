@@ -54,44 +54,50 @@ type Runtime struct {
 	// sleep is injectable so tests don't wait out real backoff.
 	sleep func(time.Duration)
 
+	// mu guards every field that changes after construction: the HTTP layer
+	// calls the admission entry points and the read accessors from request
+	// goroutines while Bootstrap/Tick mutate the same state. The guarded
+	// fields are annotated below and the contract is machine-checked by the
+	// guardedby analyzer (see internal/analysis).
+	mu sync.Mutex
+
 	// services maps instance → service, learned at Bootstrap; it names the
 	// reference-trace pool a quarantined instance falls back to.
-	services map[string]string
+	services map[string]string //smoothop:guardedby mu
 	// quality and quarantined reflect the most recent Bootstrap or Tick.
-	quality     map[string]tracestore.Quality
-	quarantined []string
+	quality     map[string]tracestore.Quality //smoothop:guardedby mu
+	quarantined []string                      //smoothop:guardedby mu
 	// emergency tracks nodes currently under an emergency cap; lastTrips is
 	// the injected trip windows seen by the latest tick.
-	emergency map[string]bool
-	lastTrips []faults.TripWindow
+	emergency map[string]bool     //smoothop:guardedby mu
+	lastTrips []faults.TripWindow //smoothop:guardedby mu
 
-	placed  bool
-	history []*DriftReport
+	placed  bool           //smoothop:guardedby mu
+	history []*DriftReport //smoothop:guardedby mu
 	// evalAsOf is the runtime's own clock: the asOf of the latest Bootstrap
 	// or Tick. Admissions that do not name a time use it, so callers follow
 	// the replayed telemetry rather than the wall clock.
-	evalAsOf time.Time
+	evalAsOf time.Time //smoothop:guardedby mu
 
-	// mu serializes the online-admission entry points (the HTTP layer calls
-	// them from request goroutines). Ingest/Bootstrap/Tick stay owner-serial
-	// as before.
-	mu sync.Mutex
 	// traces is the latest Bootstrap/Tick scoring view (references filled),
 	// kept for fragmentation reporting between admissions.
-	traces map[string]timeseries.Series
+	traces map[string]timeseries.Series //smoothop:guardedby mu
 	// online is the lazily-built admission view over the live tree; nil
 	// until the first AdmitInstance and invalidated by Tick (remapping moves
 	// instances). onlineTraces/refPool/refAll are its trace view and the
 	// healthy reference pools; onlineAsOf/onlineWeeks key the cache.
-	online       *placement.Online
-	onlineTraces map[string]timeseries.Series
-	refPool      map[string][]timeseries.Series
-	refAll       []timeseries.Series
-	onlineAsOf   time.Time
-	onlineWeeks  int
+	online       *placement.Online              //smoothop:guardedby mu
+	onlineTraces map[string]timeseries.Series   //smoothop:guardedby mu
+	refPool      map[string][]timeseries.Series //smoothop:guardedby mu
+	refAll       []timeseries.Series            //smoothop:guardedby mu
+	onlineAsOf   time.Time                      //smoothop:guardedby mu
+	onlineWeeks  int                            //smoothop:guardedby mu
 }
 
-// RuntimeConfig tunes the runtime.
+// RuntimeConfig tunes the runtime. It is a value handed over once at
+// NewRuntime and never modified afterwards.
+//
+// smoothop:immutable
 type RuntimeConfig struct {
 	// ScoreFloor is the leaf asynchrony score below which the monitor
 	// remaps. 0 means 1.2; negative is rejected with ErrBadScoreFloor.
@@ -242,18 +248,33 @@ func (r *Runtime) storeAppend(id string, at time.Time, watts float64, attempt in
 // Tree exposes the current (placed) tree for inspection.
 func (r *Runtime) Tree() *powertree.Node { return r.tree }
 
-// History returns the drift reports of every tick so far.
-func (r *Runtime) History() []*DriftReport { return r.history }
+// Placed reports whether Bootstrap has run.
+func (r *Runtime) Placed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.placed
+}
+
+// History returns a snapshot of the drift reports of every tick so far.
+func (r *Runtime) History() []*DriftReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*DriftReport(nil), r.history...)
+}
 
 // Quarantined returns the instances the latest Bootstrap or Tick scored
 // from reference traces instead of their own telemetry, sorted.
 func (r *Runtime) Quarantined() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return append([]string(nil), r.quarantined...)
 }
 
 // InstanceQuality reports the trace quality the latest Bootstrap or Tick
 // observed for an instance.
 func (r *Runtime) InstanceQuality(id string) (tracestore.Quality, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	q, ok := r.quality[id]
 	return q, ok
 }
@@ -261,12 +282,16 @@ func (r *Runtime) InstanceQuality(id string) (tracestore.Quality, bool) {
 // ActiveTrips returns the injected breaker-trip windows that overlapped the
 // latest tick's window.
 func (r *Runtime) ActiveTrips() []faults.TripWindow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return append([]faults.TripWindow(nil), r.lastTrips...)
 }
 
 // EmergencyNodes returns the nodes currently held under an emergency cap,
 // sorted.
 func (r *Runtime) EmergencyNodes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return detmap.SortedKeys(r.emergency)
 }
 
@@ -276,6 +301,8 @@ func (r *Runtime) EmergencyNodes() []string {
 // placed using their service's reference trace (the mean of healthy peers)
 // rather than failing the whole placement.
 func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trainWeeks int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.placed {
 		return ErrAlreadyPlaced
 	}
@@ -345,6 +372,8 @@ func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trai
 // mean of its service's healthy peers, falling back to the fleet-wide mean
 // when the whole service is dark. No healthy trace anywhere is
 // ErrAllQuarantined.
+//
+// smoothop:locked mu
 func (r *Runtime) fillReferences(dst map[string]timeseries.Series, quarantined []string, byService map[string][]timeseries.Series, healthy []timeseries.Series) error {
 	for _, id := range quarantined {
 		ref, ok := meanSeries(byService[r.services[id]])
@@ -420,6 +449,8 @@ func meanSeries(traces []timeseries.Series) (timeseries.Series, bool) {
 // are re-checked at the reduced budgets — violations escalate into an
 // emergency capping throttle that releases once the trip clears.
 func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.placed {
 		return nil, ErrNotPlaced
 	}
@@ -462,13 +493,11 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 	// The remap may have moved instances: drop the admission view (the next
 	// AdmitInstance rebuilds it) and refresh the fragmentation gauges from
 	// the tick's fresh window.
-	r.mu.Lock()
 	r.online = nil
 	r.onlineTraces = nil
 	r.traces = fresh
 	r.evalAsOf = asOf
 	r.refreshFragGauges(fresh)
-	r.mu.Unlock()
 
 	if err := r.emergencyStep(rep, from, asOf, fresh); err != nil {
 		return nil, err
@@ -484,6 +513,8 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 // emergencyStep runs the injected-trip escalation path: check breakers at
 // trip-reduced budgets and drive the capping controller. It fills the
 // report's ActiveTrips, BreakerTrips and EmergencyThrottles.
+//
+// smoothop:locked mu
 func (r *Runtime) emergencyStep(rep *DriftReport, from, asOf time.Time, fresh map[string]timeseries.Series) error {
 	if r.faults == nil || r.capper == nil {
 		r.lastTrips = nil

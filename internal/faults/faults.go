@@ -39,7 +39,10 @@ type Reading struct {
 // TripWindow schedules an injected breaker trip on a named power node:
 // while the window is active the node runs on its backup feed at a
 // fraction of nominal capacity, and the runtime escalates breaker
-// violations under it into an emergency capping throttle.
+// violations under it into an emergency capping throttle. Windows are
+// declared up front in a Profile and shared by value with HTTP views.
+//
+// smoothop:immutable
 type TripWindow struct {
 	// Node is the power node (by name) whose breaker trips.
 	Node string
@@ -68,7 +71,10 @@ func (t TripWindow) overlaps(from, to time.Time) bool {
 
 // Profile describes a deterministic fault scenario. All rates are
 // per-reading probabilities in [0, 1]; burst lengths are in store slots.
-// The zero Profile injects nothing.
+// The zero Profile injects nothing. A profile is fixed once the injector
+// is built — replays depend on it never changing mid-run.
+//
+// smoothop:immutable
 type Profile struct {
 	// Seed fixes every injection decision.
 	Seed int64
@@ -220,6 +226,23 @@ func Heavy(seed int64) Profile {
 		TransientRate:   0.05,
 		LeafOutageRate:  0.02,
 	}
+}
+
+// Activated returns a copy of p that injects only inside the window
+// starting at from and lasting dur (the whole replay when dur is 0).
+func (p Profile) Activated(from time.Time, dur time.Duration) Profile {
+	q := p
+	q.ActiveFrom = from
+	q.ActiveFor = dur
+	return q
+}
+
+// WithTrips returns a copy of p carrying the given injected breaker-trip
+// windows.
+func (p Profile) WithTrips(trips ...TripWindow) Profile {
+	q := p
+	q.Trips = append([]TripWindow(nil), trips...)
+	return q
 }
 
 // Injector applies a Profile to a replayed telemetry stream. It is

@@ -146,7 +146,7 @@ type Registry struct {
 	clock func() time.Time
 
 	mu      sync.Mutex
-	metrics map[string]*metric
+	metrics map[string]*metric //smoothop:guardedby mu
 }
 
 // New returns an empty registry whose spans read the wall clock.
@@ -172,6 +172,8 @@ func Default() *Registry { return defaultRegistry }
 
 // find returns the metric registered under name after checking the name is
 // valid and the kind matches, or nil when the name is free. Callers hold mu.
+//
+// smoothop:locked mu
 func (r *Registry) find(name string, k kind) *metric {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))

@@ -23,7 +23,10 @@ import (
 	"repro/internal/timeseries"
 )
 
-// Instance identifies a service instance to be placed.
+// Instance identifies a service instance to be placed. It is a value
+// identifier handed across layers and never modified after construction.
+//
+// smoothop:immutable
 type Instance struct {
 	// ID is the unique instance ID.
 	ID string

@@ -61,7 +61,10 @@ const (
 )
 
 // Quality reports how much of a materialised trace is real telemetry and
-// how much is repair.
+// how much is repair. It is a value snapshot handed to HTTP readers and
+// scoring; once built it is never modified.
+//
+// smoothop:immutable
 type Quality struct {
 	// Coverage is the fraction of window slots holding a raw reading.
 	Coverage float64

@@ -31,7 +31,10 @@ var (
 	errWeeks = errors.New("tracestore: weeks must be ≥ 1")
 )
 
-// Config tunes a Store.
+// Config tunes a Store. It is copied into the store at New and never
+// modified afterwards.
+//
+// smoothop:immutable
 type Config struct {
 	// Step is the sampling interval readings are bucketed into. 0 means one
 	// minute (the paper's sensor rate).
@@ -67,7 +70,7 @@ type Store struct {
 	cfg Config
 
 	mu        sync.RWMutex
-	instances map[string]*ring
+	instances map[string]*ring //smoothop:guardedby mu
 }
 
 // ring is a per-instance circular buffer of slot values.
@@ -344,6 +347,10 @@ func Load(r io.Reader) (*Store, error) {
 		Step:      time.Duration(cp.StepSeconds * float64(time.Second)),
 		Retention: time.Duration(cp.RetentionSeconds * float64(time.Second)),
 	})
+	// The store is not yet shared, but instances is guarded state: take the
+	// lock so the contract holds on every path.
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for _, id := range detmap.SortedKeys(cp.Instances) {
 		dump := cp.Instances[id]
 		start, err := time.Parse(time.RFC3339, dump.Start)
