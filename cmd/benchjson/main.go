@@ -3,7 +3,9 @@
 // benchmark machinery) and writes them to a JSON file. `make bench-json`
 // produces BENCH_pipeline.json; successive PRs diff it to track the perf
 // trajectory of the scoring, aggregation and percentile kernels and of the
-// full experiment pipeline.
+// full experiment pipeline. The -scale flag adds a fleet-size axis pitting
+// the full O(fleet) aggregation sweep against the incremental delta tick
+// (≤1% of leaves dirty) at 10k/100k/1M instances.
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -136,6 +139,18 @@ func benchmarks() (map[string]func(b *testing.B), error) {
 				_ = calc.Percentile(week, 95)
 			}
 		},
+		"timeseries/percentile_sketch_week": func(b *testing.B) {
+			b.ReportAllocs()
+			sk, err := timeseries.NewPercentileSketch(0.01)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sk.Percentile(week, 50)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sk.Percentile(week, 95)
+			}
+		},
 		"timeseries/percentile_series_week": func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -162,17 +177,153 @@ var names = []string{
 	"powertree/aggregate_all",
 	"powertree/per_node_oracle",
 	"timeseries/percentile_calc_week",
+	"timeseries/percentile_sketch_week",
 	"timeseries/percentile_series_week",
 	"experiments/run_all",
 }
 
-func run(out string) error {
-	suite, err := benchmarks()
+// scalePoint is one rung of the fleet-size axis: a topology sized so the
+// attached fleet holds ~instances instances. The delta tick dirties ~1% of
+// the leaves (at least one), matching a drift-monitor tick that touched a
+// handful of racks.
+type scalePoint struct {
+	label     string
+	instances int
+	spec      powertree.TopologySpec
+}
+
+var scalePoints = []scalePoint{
+	{"10k", 10_000, powertree.TopologySpec{
+		Name: "scale10k", SuitesPerDC: 2, MSBsPerSuite: 2, SBsPerMSB: 2, RPPsPerSB: 4,
+		LeafBudget: 1e9}}, // 32 leaves
+	{"100k", 100_000, powertree.TopologySpec{
+		Name: "scale100k", SuitesPerDC: 2, MSBsPerSuite: 4, SBsPerMSB: 4, RPPsPerSB: 4,
+		LeafBudget: 1e9}}, // 128 leaves
+	{"1M", 1_000_000, powertree.TopologySpec{
+		Name: "scale1M", SuitesPerDC: 4, MSBsPerSuite: 4, SBsPerMSB: 4, RPPsPerSB: 4,
+		LeafBudget: 1e9}}, // 256 leaves
+}
+
+// scaleTree builds one scale point's fleet. Instances share a fixed pool of
+// 64 traces — the PowerFn decodes the instance index from the id ("i<idx>")
+// and serves pool[idx mod 64], so the per-instance trace memory stays flat
+// while the fold work is the real O(fleet) amount.
+func scaleTree(p scalePoint, pool []timeseries.Series) (*powertree.Node, powertree.PowerFn, error) {
+	tree, err := powertree.Build(p.spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	leaves := tree.Leaves()
+	perLeaf := (p.instances + len(leaves) - 1) / len(leaves)
+	next := 0
+	for _, leaf := range leaves {
+		for k := 0; k < perLeaf; k++ {
+			if err := leaf.Attach("i" + strconv.Itoa(next)); err != nil {
+				return nil, nil, err
+			}
+			next++
+		}
+	}
+	pf := func(id string) (timeseries.Series, bool) {
+		idx, err := strconv.Atoi(id[1:])
+		if err != nil {
+			return timeseries.Series{}, false
+		}
+		return pool[idx&(len(pool)-1)], true
+	}
+	return tree, pf, nil
+}
+
+// scaleBenchmarks builds the full-sweep vs delta-tick pair for each
+// requested scale point. Both sides run serially so the ratio isolates the
+// algorithmic win (O(fleet) refold vs O(changed) refold + O(depth) root-path
+// recombine), not parallel speedup.
+func scaleBenchmarks(points []scalePoint) (map[string]func(b *testing.B), []string, error) {
+	pool := synthTraces(64, 288, 41)
+	suite := make(map[string]func(b *testing.B))
+	var order []string
+	for _, p := range points {
+		tree, pf, err := scaleTree(p, pool)
+		if err != nil {
+			return nil, nil, fmt.Errorf("benchjson: scale point %s: %w", p.label, err)
+		}
+		leaves := tree.Leaves()
+		dirtyN := len(leaves) / 100
+		if dirtyN < 1 {
+			dirtyN = 1
+		}
+		stride := len(leaves) / dirtyN
+		dirty := make([]*powertree.Node, 0, dirtyN)
+		for i := 0; i < dirtyN; i++ {
+			dirty = append(dirty, leaves[i*stride])
+		}
+		fullName := "scale/full_sweep_" + p.label
+		deltaName := "scale/delta_tick_" + p.label
+		suite[fullName] = func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.AggregateAll(pf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		suite[deltaName] = func(b *testing.B) {
+			b.ReportAllocs()
+			agg, err := powertree.NewAggregator(tree, pf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := agg.MarkDirty(dirty...); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := agg.Update(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		order = append(order, fullName, deltaName)
+	}
+	return suite, order, nil
+}
+
+// buildSuite assembles the run order for the chosen scale mode: "off" is the
+// base kernel suite, "full" appends all three scale points, and "short" is
+// only the CI-sized 10k/100k pair (the 1M fleet is too slow for every push).
+func buildSuite(scale string) (map[string]func(b *testing.B), []string, error) {
+	switch scale {
+	case "off", "full":
+		suite, err := benchmarks()
+		if err != nil {
+			return nil, nil, err
+		}
+		order := append([]string(nil), names...)
+		if scale == "full" {
+			extra, extraOrder, err := scaleBenchmarks(scalePoints)
+			if err != nil {
+				return nil, nil, err
+			}
+			for name, fn := range extra {
+				suite[name] = fn
+			}
+			order = append(order, extraOrder...)
+		}
+		return suite, order, nil
+	case "short":
+		return scaleBenchmarks(scalePoints[:2])
+	default:
+		return nil, nil, fmt.Errorf("benchjson: unknown -scale mode %q (off|short|full)", scale)
+	}
+}
+
+func run(out, scale string) error {
+	suite, order, err := buildSuite(scale)
 	if err != nil {
 		return err
 	}
 	results := make([]result, 0, len(suite))
-	for _, name := range names {
+	for _, name := range order {
 		fn, ok := suite[name]
 		if !ok {
 			return fmt.Errorf("benchjson: unknown benchmark %q", name)
@@ -201,8 +352,9 @@ func run(out string) error {
 
 func main() {
 	out := flag.String("o", "BENCH_pipeline.json", "output file")
+	scale := flag.String("scale", "full", "fleet-size axis: off, short (10k+100k, CI-sized) or full (10k/100k/1M)")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -158,6 +158,7 @@ var pipelinePackages = map[string]bool{
 	"workload":    true,
 	"faults":      true,
 	"metrics":     true,
+	"timeseries":  true,
 }
 
 // IsPipelinePackage reports whether an import path addresses one of the

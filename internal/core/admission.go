@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/powertree"
 	"repro/internal/timeseries"
 	"repro/internal/tracestore"
 )
@@ -73,7 +74,7 @@ func (r *Runtime) AdmitInstance(id, service string, asOf time.Time, trainWeeks i
 		r.refAll = append(r.refAll, tr)
 	}
 	obsRuntimeAdmissions.Inc()
-	r.refreshFragGauges(r.onlineTraces)
+	r.fragDelta(r.onlineTraces, true, leaf)
 	return leaf.Name, nil
 }
 
@@ -93,7 +94,7 @@ func (r *Runtime) RetireInstance(id string) (string, error) {
 		}
 		delete(r.onlineTraces, id)
 		obsRuntimeRetirements.Inc()
-		r.refreshFragGauges(r.onlineTraces)
+		r.fragDelta(r.onlineTraces, true, leaf)
 		return leaf.Name, nil
 	}
 	// No online view is live (e.g. right after Bootstrap or Tick): detach
@@ -107,7 +108,7 @@ func (r *Runtime) RetireInstance(id string) (string, error) {
 				return "", fmt.Errorf("core: retire bookkeeping failed for %q", id)
 			}
 			obsRuntimeRetirements.Inc()
-			r.refreshFragGauges(r.traces)
+			r.fragDelta(r.traces, false, leaf)
 			return leaf.Name, nil
 		}
 	}
@@ -159,6 +160,9 @@ func (r *Runtime) ensureOnline(asOf time.Time, trainWeeks int) error {
 	r.refAll = healthy
 	r.onlineAsOf = asOf
 	r.onlineWeeks = trainWeeks
+	// Re-anchor the fragmentation aggregator on the new view's trace map so
+	// subsequent admissions can refresh gauges by delta.
+	r.rebuildFragView(traces, true)
 	return nil
 }
 
@@ -201,18 +205,65 @@ func (r *Runtime) admissionTrace(id, service string, asOf time.Time, trainWeeks 
 	return ref, true, nil
 }
 
-// refreshFragGauges recomputes the per-level fragmentation gauges from the
-// given trace view. Gauges are best-effort: an incomplete view (e.g. a
-// retirement before any admission view exists) leaves them at their last
-// value rather than failing the operation.
-func (r *Runtime) refreshFragGauges(traces map[string]timeseries.Series) {
+// rebuildFragView rebuilds the fragmentation-gauge aggregator from scratch
+// over the given trace view and refreshes the gauges. online records which
+// view the aggregator's PowerFn captured (the admission view mutates in
+// place across admissions, so the captured map stays current until the view
+// itself is replaced). Gauges are best-effort: a nil or broken view drops
+// the aggregator and leaves the gauges at their last value rather than
+// failing the operation.
+//
+// smoothop:locked mu
+func (r *Runtime) rebuildFragView(traces map[string]timeseries.Series, online bool) {
 	if traces == nil {
+		r.fragAgg = nil
 		return
 	}
-	rows, err := metrics.FragmentationRates(r.tree, func(id string) (timeseries.Series, bool) {
-		tr, ok := traces[id]
+	view := traces // local so the PowerFn closure does not capture guarded state
+	agg, err := powertree.NewAggregator(r.tree, func(id string) (timeseries.Series, bool) {
+		tr, ok := view[id]
 		return tr, ok
 	})
+	if err != nil {
+		r.fragAgg = nil
+		return
+	}
+	r.fragAgg = agg
+	r.fragViewOnline = online
+	obsFragFullRefreshes.Inc()
+	r.setFragGauges(agg.Snapshot())
+}
+
+// fragDelta refreshes the fragmentation gauges after churn confined to the
+// given leaves, folding only those leaves into the cached aggregation. Any
+// mismatch — no aggregator yet, the trace view switched, a mark or update
+// failure — falls back to a full rebuild, so the gauges never go stale.
+//
+// smoothop:locked mu
+func (r *Runtime) fragDelta(traces map[string]timeseries.Series, online bool, leaves ...*powertree.Node) {
+	if r.fragAgg == nil || r.fragViewOnline != online {
+		r.rebuildFragView(traces, online)
+		return
+	}
+	if err := r.fragAgg.MarkDirty(leaves...); err != nil {
+		r.rebuildFragView(traces, online)
+		return
+	}
+	snap, err := r.fragAgg.Update()
+	if err != nil {
+		r.rebuildFragView(traces, online)
+		return
+	}
+	obsFragDeltaRefreshes.Inc()
+	r.setFragGauges(snap)
+}
+
+// setFragGauges publishes per-level fragmentation rates computed from an
+// aggregation snapshot. Best-effort, like the refresh paths above.
+//
+// smoothop:locked mu
+func (r *Runtime) setFragGauges(aggs *powertree.Aggregates) {
+	rows, err := metrics.FragmentationRatesFrom(r.tree, aggs)
 	if err != nil {
 		return
 	}

@@ -169,9 +169,11 @@ func TestRetireWithoutOnlineView(t *testing.T) {
 	}
 }
 
-// TestTickInvalidatesOnlineView checks that admissions keep working across a
-// tick (which remaps and drops the cached admission view).
-func TestTickInvalidatesOnlineView(t *testing.T) {
+// TestTickRetainsOnlineView checks that the cached admission view survives a
+// tick: a clean remap keeps it (resyncing only swapped leaves) so
+// retirements and windowed admissions reuse it directly, and only a
+// reconciliation failure drops it wholesale.
+func TestTickRetainsOnlineView(t *testing.T) {
 	rt, _, held, trainEnd := admissionFixture(t)
 	if _, err := rt.AdmitInstance(held[0].ID, held[0].Service, trainEnd, 2); err != nil {
 		t.Fatal(err)
@@ -179,11 +181,44 @@ func TestTickInvalidatesOnlineView(t *testing.T) {
 	if _, err := rt.Tick(trainEnd.Add(7*24*time.Hour), 0); err != nil {
 		t.Fatal(err)
 	}
-	if rt.online != nil {
-		t.Fatal("tick did not invalidate the online view")
+	if rt.online == nil {
+		t.Fatal("tick dropped the online view despite a clean remap")
 	}
+	if _, ok := rt.online.Leaf(held[0].ID); !ok {
+		t.Fatalf("retained view lost track of %s", held[0].ID)
+	}
+	// The view is still keyed at its original window, so an explicitly
+	// windowed admission reuses it without a rebuild...
 	if _, err := rt.AdmitInstance(held[1].ID, held[1].Service, trainEnd, 2); err != nil {
 		t.Fatalf("admit after tick: %v", err)
+	}
+	// ...and a retirement works against it directly.
+	if _, err := rt.RetireInstance(held[0].ID); err != nil {
+		t.Fatalf("retire after tick: %v", err)
+	}
+
+	// A remap that swapped real leaves resyncs in place and keeps the view.
+	leaves := rt.Tree().Leaves()
+	rt.mu.Lock()
+	rt.retargetOnline([]placement.Swap{{NodeA: leaves[0].Name, NodeB: leaves[1].Name}})
+	rt.mu.Unlock()
+	if rt.online == nil {
+		t.Fatal("resync of real leaves dropped the view")
+	}
+
+	// A swap naming a leaf the tree does not have must drop the view.
+	rt.mu.Lock()
+	rt.retargetOnline([]placement.Swap{{NodeA: "no-such-leaf", NodeB: leaves[0].Name}})
+	rt.mu.Unlock()
+	if rt.online != nil {
+		t.Fatal("failed reconciliation kept a stale online view")
+	}
+	// The next admission rebuilds the view from the store.
+	if _, err := rt.AdmitInstance(held[2].ID, held[2].Service, trainEnd, 2); err != nil {
+		t.Fatalf("admit after drop: %v", err)
+	}
+	if rt.online == nil {
+		t.Fatal("admission did not rebuild the dropped view")
 	}
 }
 

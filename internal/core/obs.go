@@ -40,6 +40,18 @@ var (
 		"Online admissions rejected because no leaf could host the instance.")
 	obsRuntimeRetirements = obs.Default().Counter("smoothop_runtime_retirements_total",
 		"Instances retired through the runtime's online placement path.")
+	obsOnlineResyncs = obs.Default().Counter("smoothop_runtime_online_resyncs_total",
+		"Tick remaps absorbed by resyncing only the swapped leaves of the cached admission view.")
+	obsOnlineDrops = obs.Default().Counter("smoothop_runtime_online_drops_total",
+		"Cached admission views dropped wholesale (resync failed or a remapped leaf vanished).")
+
+	// Fragmentation-gauge refresh path: full rebuilds re-aggregate the whole
+	// tree (Bootstrap, Tick, view changes), delta refreshes fold in only the
+	// leaves an admission or retirement touched.
+	obsFragFullRefreshes = obs.Default().Counter("smoothop_runtime_frag_full_refreshes_total",
+		"Fragmentation gauge refreshes that re-aggregated the full tree.")
+	obsFragDeltaRefreshes = obs.Default().Counter("smoothop_runtime_frag_delta_refreshes_total",
+		"Fragmentation gauge refreshes served by the incremental delta aggregator.")
 
 	// Per-level power-fragmentation gauges (the obs registry has no labels,
 	// so each tier gets its own series). Refreshed at Bootstrap, Tick and

@@ -92,6 +92,14 @@ type Runtime struct {
 	refAll       []timeseries.Series            //smoothop:guardedby mu
 	onlineAsOf   time.Time                      //smoothop:guardedby mu
 	onlineWeeks  int                            //smoothop:guardedby mu
+
+	// fragAgg carries the fragmentation-gauge aggregation forward
+	// incrementally: admissions and retirements mark only the touched leaf
+	// dirty instead of re-aggregating the whole tree. fragViewOnline records
+	// which trace view (admission view vs Bootstrap/Tick traces) the
+	// aggregator's PowerFn captured, so a view switch forces a rebuild.
+	fragAgg        *powertree.Aggregator //smoothop:guardedby mu
+	fragViewOnline bool                  //smoothop:guardedby mu
 }
 
 // RuntimeConfig tunes the runtime. It is a value handed over once at
@@ -354,7 +362,7 @@ func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trai
 	r.quality = quality
 	r.quarantined = quarantined
 	r.traces = avg
-	r.refreshFragGauges(avg)
+	r.rebuildFragView(avg, false)
 	obsQuarantined.Set(float64(len(quarantined)))
 	if r.faults != nil {
 		capper, err := capping.New(r.tree, capping.Config{SustainSteps: 1})
@@ -490,14 +498,14 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 	r.quality = quality
 	r.quarantined = quarantined
 	obsQuarantined.Set(float64(len(quarantined)))
-	// The remap may have moved instances: drop the admission view (the next
-	// AdmitInstance rebuilds it) and refresh the fragmentation gauges from
-	// the tick's fresh window.
-	r.online = nil
-	r.onlineTraces = nil
+	// The remap may have moved instances between leaves. Instead of dropping
+	// the cached admission view wholesale, resync only the swapped leaves
+	// (no swaps means the placement is untouched and the view stays valid
+	// as-is); the gauges are refreshed from the tick's fresh window.
+	r.retargetOnline(rep.Swaps)
 	r.traces = fresh
 	r.evalAsOf = asOf
-	r.refreshFragGauges(fresh)
+	r.rebuildFragView(fresh, false)
 
 	if err := r.emergencyStep(rep, from, asOf, fresh); err != nil {
 		return nil, err
@@ -508,6 +516,57 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 	obsTickSwaps.Add(uint64(len(rep.Swaps)))
 	timer.End()
 	return rep, nil
+}
+
+// retargetOnline reconciles the cached admission view with the tree after a
+// tick's remap. With no swaps the placement is unchanged and the view is
+// kept untouched; otherwise only the swapped leaves are resynced (their
+// residents' traces are already in the view's trace map — swaps move
+// existing residents). Any reconciliation failure — a swapped leaf that
+// cannot be found, a resident the view cannot resolve — drops the view
+// wholesale, restoring the old rebuild-on-next-admission behaviour.
+//
+// The retained view stays keyed at its original (onlineAsOf, onlineWeeks)
+// window: its traces ARE that window's telemetry, so retirements and
+// explicitly windowed admissions reuse it immediately, while a zero-asOf
+// admission after the tick re-keys to the new evalAsOf and rebuilds.
+//
+// smoothop:locked mu
+func (r *Runtime) retargetOnline(swaps []placement.Swap) {
+	if r.online == nil || len(swaps) == 0 {
+		return
+	}
+	seen := make(map[string]bool, 2*len(swaps))
+	var leaves []*powertree.Node
+	for _, sw := range swaps {
+		for _, name := range [2]string{sw.NodeA, sw.NodeB} {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			leaf := r.tree.Find(name)
+			if leaf == nil {
+				r.dropOnline()
+				return
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	if err := r.online.Resync(leaves...); err != nil {
+		r.dropOnline()
+		return
+	}
+	obsOnlineResyncs.Inc()
+}
+
+// dropOnline discards the cached admission view; the next AdmitInstance
+// rebuilds it from the store.
+//
+// smoothop:locked mu
+func (r *Runtime) dropOnline() {
+	r.online = nil
+	r.onlineTraces = nil
+	obsOnlineDrops.Inc()
 }
 
 // emergencyStep runs the injected-trip escalation path: check breakers at

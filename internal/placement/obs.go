@@ -27,4 +27,8 @@ var (
 		"Online admissions rejected because no leaf could host without a breaker violation.")
 	obsRetirements = obs.Default().Counter("smoothop_placement_retirements_total",
 		"Instances retired by online placement.")
+	obsResyncs = obs.Default().Counter("smoothop_placement_resyncs_total",
+		"Completed Online.Resync reconciliations after external tree mutations.")
+	obsResyncLeaves = obs.Default().Counter("smoothop_placement_resync_leaves_total",
+		"Leaves re-snapshotted by Online.Resync calls.")
 )

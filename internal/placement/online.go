@@ -80,11 +80,16 @@ type Online struct {
 	// agg is every node's aggregate power trace (Empty when the subtree
 	// hosts no instances).
 	agg map[*powertree.Node]timeseries.Series
-	// residents holds per-leaf traces parallel to leaf.Instances.
-	residents map[*powertree.Node][]timeseries.Series
+	// residents holds per-leaf traces parallel to leaf.Instances;
+	// residentIDs holds the matching instance IDs — the placer's own record
+	// of who it thinks lives on each leaf, which Resync diffs against the
+	// tree after an external move.
+	residents   map[*powertree.Node][]timeseries.Series
+	residentIDs map[*powertree.Node][]string
 	// leafOf locates every admitted instance's hosting leaf.
-	leafOf map[string]*powertree.Node
-	leaves []*powertree.Node
+	leafOf  map[string]*powertree.Node
+	leaves  []*powertree.Node
+	leafSet map[*powertree.Node]bool
 }
 
 // NewOnline wraps a live (possibly already populated) tree for online
@@ -98,25 +103,21 @@ func NewOnline(tree *powertree.Node, traces TraceFn, policy OnlinePolicy) (*Onli
 		return nil, ErrNoLeaves
 	}
 	o := &Online{
-		tree:      tree,
-		traces:    traces,
-		policy:    policy,
-		agg:       make(map[*powertree.Node]timeseries.Series),
-		residents: make(map[*powertree.Node][]timeseries.Series, len(leaves)),
-		leafOf:    make(map[string]*powertree.Node),
-		leaves:    leaves,
+		tree:        tree,
+		traces:      traces,
+		policy:      policy,
+		agg:         make(map[*powertree.Node]timeseries.Series),
+		residents:   make(map[*powertree.Node][]timeseries.Series, len(leaves)),
+		residentIDs: make(map[*powertree.Node][]string, len(leaves)),
+		leafOf:      make(map[string]*powertree.Node),
+		leaves:      leaves,
+		leafSet:     make(map[*powertree.Node]bool, len(leaves)),
 	}
 	for _, leaf := range leaves {
-		trs := make([]timeseries.Series, 0, len(leaf.Instances))
-		for _, id := range leaf.Instances {
-			tr, ok := traces(id)
-			if !ok {
-				return nil, fmt.Errorf("%w for resident instance %q", ErrMissingTrace, id)
-			}
-			trs = append(trs, tr)
-			o.leafOf[id] = leaf
+		o.leafSet[leaf] = true
+		if err := o.snapshotLeaf(leaf); err != nil {
+			return nil, err
 		}
-		o.residents[leaf] = trs
 	}
 	if err := o.rebuildAll(); err != nil {
 		return nil, err
@@ -136,6 +137,77 @@ func (o *Online) Aggregate(n *powertree.Node) timeseries.Series { return o.agg[n
 func (o *Online) Leaf(id string) (*powertree.Node, bool) {
 	leaf, ok := o.leafOf[id]
 	return leaf, ok
+}
+
+// snapshotLeaf (re)builds one leaf's resident trace and ID records from the
+// tree's current leaf.Instances, re-pointing leafOf at this leaf for each.
+func (o *Online) snapshotLeaf(leaf *powertree.Node) error {
+	trs := make([]timeseries.Series, 0, len(leaf.Instances))
+	ids := make([]string, 0, len(leaf.Instances))
+	for _, id := range leaf.Instances {
+		tr, ok := o.traces(id)
+		if !ok {
+			return fmt.Errorf("%w for resident instance %q", ErrMissingTrace, id)
+		}
+		trs = append(trs, tr)
+		ids = append(ids, id)
+		o.leafOf[id] = leaf
+	}
+	o.residents[leaf] = trs
+	o.residentIDs[leaf] = ids
+	return nil
+}
+
+// Resync reconciles the placer's state with the live tree for the given
+// leaves after an external mutation moved instances among them (typically a
+// Remap tick swapping residents between RPPs). Only the named leaves and
+// their root paths are touched: residents are re-snapshotted from
+// leaf.Instances and the path aggregates rebuilt, so a k-leaf resync costs
+// O(k·(instances-per-leaf + depth)·len) instead of a full reconstruction.
+//
+// The caller must name every leaf whose instance set changed; missing one
+// leaves that leaf's aggregates stale. On error (unknown resident trace,
+// foreign node) the placer's state may be partially updated and the placer
+// should be discarded and rebuilt.
+func (o *Online) Resync(leaves ...*powertree.Node) error {
+	for _, leaf := range leaves {
+		if leaf == nil || !o.leafSet[leaf] {
+			name := "<nil>"
+			if leaf != nil {
+				name = leaf.Name
+			}
+			return fmt.Errorf("placement: resync target %q is not a leaf of the placer's tree", name)
+		}
+	}
+	// Phase 1: forget every instance the placer had recorded on the resynced
+	// leaves. All removals happen before any re-snapshot so an instance
+	// swapped between two resynced leaves is not dropped by a later removal.
+	for _, leaf := range leaves {
+		for _, id := range o.residentIDs[leaf] {
+			if o.leafOf[id] == leaf {
+				delete(o.leafOf, id)
+			}
+		}
+	}
+	// Phase 2: re-snapshot residents from the tree's current placement.
+	for _, leaf := range leaves {
+		if err := o.snapshotLeaf(leaf); err != nil {
+			return err
+		}
+	}
+	// Phase 3: rebuild the aggregates along each root path. Shared ancestors
+	// are rebuilt more than once; rebuildNode is idempotent so the extra
+	// passes only cost time.
+	for _, leaf := range leaves {
+		for n := leaf; n != nil; n = n.Parent() {
+			if err := o.rebuildNode(n); err != nil {
+				return err
+			}
+		}
+	}
+	obsResyncs.Inc()
+	obsResyncLeaves.Add(uint64(len(leaves)))
+	return nil
 }
 
 // rebuildAll recomputes every node's aggregate bottom-up from the resident
@@ -272,6 +344,7 @@ func (o *Online) Admit(inst Instance) (*powertree.Node, error) {
 		return nil, err
 	}
 	o.residents[leaf] = append(o.residents[leaf], tr)
+	o.residentIDs[leaf] = append(o.residentIDs[leaf], inst.ID)
 	o.leafOf[inst.ID] = leaf
 	// Fold the new trace into the aggregates along the leaf's root path.
 	for n := leaf; n != nil; n = n.Parent() {
@@ -308,6 +381,8 @@ func (o *Online) Retire(id string) (*powertree.Node, error) {
 	}
 	trs := o.residents[leaf]
 	o.residents[leaf] = append(trs[:idx:idx], trs[idx+1:]...)
+	ids := o.residentIDs[leaf]
+	o.residentIDs[leaf] = append(ids[:idx:idx], ids[idx+1:]...)
 	delete(o.leafOf, id)
 	for n := leaf; n != nil; n = n.Parent() {
 		if err := o.rebuildNode(n); err != nil {

@@ -253,3 +253,91 @@ func TestOnlineAsynchronySpreadsSynchronousPairs(t *testing.T) {
 		t.Fatalf("counter-phased arrival got its own leaf: %v", l2.Instances)
 	}
 }
+
+// TestOnlineResync: after instances are moved between leaves behind the
+// placer's back (the Remap tick), Resync on the touched leaves must bring
+// leaf lookups and path aggregates back in line with a fresh bottom-up
+// aggregation — without rebuilding the untouched leaves.
+func TestOnlineResync(t *testing.T) {
+	instances, traces, tree := testFixture(t)
+	if err := (Random{Seed: 5}).Place(tree, instances, traces); err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnline(tree, traces, OnlineBestFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find two leaves with residents and swap their first instances, the way
+	// Remap mutates the tree directly.
+	var withResidents []*powertree.Node
+	for _, leaf := range tree.Leaves() {
+		if len(leaf.Instances) > 0 {
+			withResidents = append(withResidents, leaf)
+		}
+	}
+	if len(withResidents) < 2 {
+		t.Fatal("fixture placed fewer than two occupied leaves")
+	}
+	la, lb := withResidents[0], withResidents[1]
+	ia, ib := la.Instances[0], lb.Instances[0]
+	if !la.Detach(ia) || !lb.Detach(ib) {
+		t.Fatal("detach failed")
+	}
+	if err := la.Attach(ib); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Attach(ia); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := o.Resync(la, lb); err != nil {
+		t.Fatal(err)
+	}
+	if leaf, ok := o.Leaf(ia); !ok || leaf != lb {
+		t.Fatalf("after resync, %q maps to %v, want %q", ia, leaf, lb.Name)
+	}
+	if leaf, ok := o.Leaf(ib); !ok || leaf != la {
+		t.Fatalf("after resync, %q maps to %v, want %q", ib, leaf, la.Name)
+	}
+	aggs, err := tree.AggregateAll(powertree.PowerFn(traces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Walk(func(n *powertree.Node) {
+		got, want := o.Aggregate(n).Peak(), aggs.Peak(n)
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("node %q resynced peak %.9f, fresh %.9f", n.Name, got, want)
+		}
+	})
+
+	// The placer stays fully operational: retire a moved instance, readmit.
+	if leaf, err := o.Retire(ia); err != nil || leaf != lb {
+		t.Fatalf("retire moved instance: leaf=%v err=%v", leaf, err)
+	}
+	if _, err := o.Admit(Instance{ID: ia}); err != nil {
+		t.Fatalf("readmit after resync: %v", err)
+	}
+
+	// Resyncing an untouched leaf is an idempotent no-op.
+	if err := o.Resync(withResidents[len(withResidents)-1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Foreign or interior nodes are rejected before any state changes.
+	other, err := powertree.Build(powertree.TopologySpec{
+		Name: "other", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 1, LeafBudget: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Resync(other.Leaves()[0]); err == nil {
+		t.Fatal("resync accepted a foreign leaf")
+	}
+	if err := o.Resync(tree); err == nil {
+		t.Fatal("resync accepted an interior node")
+	}
+	if err := o.Resync(nil); err == nil {
+		t.Fatal("resync accepted nil")
+	}
+}

@@ -10,6 +10,11 @@
 // O(instances × len + nodes × len) total. The combine uses the same
 // child-recursive operation order as AggregatePower, so every per-node
 // result is bit-identical to the per-node path for any worker count.
+//
+// The same two primitives — foldLeaf for a leaf's own instances, combineEntry
+// for an interior node over its children's entries — also back the
+// incremental delta path (see incremental.go), which re-runs them only on
+// dirty leaves and their root paths.
 package powertree
 
 import (
@@ -30,13 +35,131 @@ type aggEntry struct {
 	missing []string
 }
 
+// treeIndex caches the tree walks every Aggregates consumer repeats —
+// Leaves() for the fold fan-out and NodesAtLevel() for the per-level
+// statistics. One walk at aggregation time replaces a fresh allocation and
+// re-walk per call. The index describes topology only (node identity and
+// levels), so it stays valid across instance churn and trace changes; it is
+// invalidated only when children are added or removed (see
+// Aggregator.InvalidateTopology).
+type treeIndex struct {
+	leaves  []*Node
+	byLevel map[Level][]*Node
+	leafSet map[*Node]bool
+}
+
+// buildTreeIndex walks the subtree once and records leaves and per-level
+// node lists in tree order.
+func buildTreeIndex(root *Node) *treeIndex {
+	ix := &treeIndex{
+		byLevel: make(map[Level][]*Node),
+		leafSet: make(map[*Node]bool),
+	}
+	root.Walk(func(m *Node) {
+		ix.byLevel[m.Level] = append(ix.byLevel[m.Level], m)
+		if m.IsLeaf() {
+			ix.leaves = append(ix.leaves, m)
+			ix.leafSet[m] = true
+		}
+	})
+	return ix
+}
+
 // Aggregates holds the aggregate power trace of every node in a tree,
-// computed by one bottom-up pass (AggregateAll). An Aggregates is a snapshot
-// of the tree and traces at computation time; it is immutable and safe for
-// concurrent reads.
+// computed by one bottom-up pass (AggregateAll) or carried forward
+// incrementally (Aggregator.Update). An Aggregates is a snapshot of the tree
+// and traces at computation time; it is immutable and safe for concurrent
+// reads.
 type Aggregates struct {
 	root    *Node
 	entries map[*Node]*aggEntry
+	index   *treeIndex
+}
+
+// foldLeaf folds one leaf's own instance traces in attachment order —
+// AggregatePower's exact operation order for a leaf. The returned entry owns
+// a freshly allocated trace.
+func foldLeaf(m *Node, power PowerFn) (*aggEntry, error) {
+	e := &aggEntry{}
+	for _, id := range m.Instances {
+		s, ok := power(id)
+		if !ok {
+			e.missing = append(e.missing, id)
+			continue
+		}
+		if !e.started {
+			e.trace = s.Clone()
+			e.started = true
+			continue
+		}
+		if err := e.trace.AddInPlace(s); err != nil {
+			return nil, fmt.Errorf("powertree: aggregating %q under %q: %w", id, m.Name, err)
+		}
+	}
+	if e.started {
+		e.peak = e.trace.Peak()
+	}
+	return e, nil
+}
+
+// foldLeaves folds each leaf concurrently, one leaf per index (workers ≤ 0
+// means the package default). Each fold touches only per-index state, so the
+// result is bit-identical to a serial loop and the error returned is the one
+// the lowest-index leaf would have hit serially.
+func foldLeaves(leaves []*Node, power PowerFn, workers int) ([]*aggEntry, error) {
+	return parallel.Map(context.Background(), len(leaves), workers, func(i int) (*aggEntry, error) {
+		return foldLeaf(leaves[i], power)
+	})
+}
+
+// combineEntry recomputes one interior node's entry from its own instance
+// traces and its children's current entries, preserving AggregatePower's
+// child-recursive operation order exactly: own instances in attachment
+// order, then each child's aggregate in child order, first contribution
+// cloned, the rest accumulated in place. Given bit-identical child entries
+// it therefore produces a bit-identical parent entry — the invariant the
+// delta path relies on.
+func combineEntry(m *Node, power PowerFn, child func(*Node) *aggEntry) (*aggEntry, error) {
+	e := &aggEntry{}
+	// Interior nodes hosting instances are invalid (Validate rejects them)
+	// but AggregatePower tolerates them, so mirror its fold: own instances
+	// first, then child aggregates.
+	for _, id := range m.Instances {
+		s, ok := power(id)
+		if !ok {
+			e.missing = append(e.missing, id)
+			continue
+		}
+		if !e.started {
+			e.trace = s.Clone()
+			e.started = true
+			continue
+		}
+		if err := e.trace.AddInPlace(s); err != nil {
+			return nil, fmt.Errorf("powertree: aggregating %q under %q: %w", id, m.Name, err)
+		}
+	}
+	for _, c := range m.Children {
+		ce := child(c)
+		e.missing = append(e.missing, ce.missing...)
+		if !ce.started {
+			continue
+		}
+		if !e.started {
+			// Clone: the child's aggregate stays live in the result and must
+			// not be mutated by further adds here.
+			e.trace = ce.trace.Clone()
+			e.started = true
+			continue
+		}
+		if err := e.trace.AddInPlace(ce.trace); err != nil {
+			return nil, fmt.Errorf("powertree: combining %q into %q: %w", c.Name, m.Name, err)
+		}
+	}
+	if e.started {
+		e.peak = e.trace.Peak()
+	}
+	return e, nil
 }
 
 // AggregateAll aggregates the whole subtree in one bottom-up pass with the
@@ -53,94 +176,36 @@ func (n *Node) AggregateAll(power PowerFn) (*Aggregates, error) {
 // serial run.
 func (n *Node) AggregateAllParallel(power PowerFn, workers int) (*Aggregates, error) {
 	timer := obsAggregateSpan.Start()
-	leaves := n.Leaves()
-	type leafFold struct {
-		trace   timeseries.Series
-		started bool
-		missing []string
-	}
-	folds, err := parallel.Map(context.Background(), len(leaves), workers, func(i int) (leafFold, error) {
-		m := leaves[i]
-		var f leafFold
-		for _, id := range m.Instances {
-			s, ok := power(id)
-			if !ok {
-				f.missing = append(f.missing, id)
-				continue
-			}
-			if !f.started {
-				f.trace = s.Clone()
-				f.started = true
-				continue
-			}
-			if e := f.trace.AddInPlace(s); e != nil {
-				return leafFold{}, fmt.Errorf("powertree: aggregating %q under %q: %w", id, m.Name, e)
-			}
-		}
-		return f, nil
-	})
+	index := buildTreeIndex(n)
+	folds, err := foldLeaves(index.leaves, power, workers)
 	if err != nil {
 		return nil, err
 	}
 
-	a := &Aggregates{root: n, entries: make(map[*Node]*aggEntry)}
-	// build visits nodes in pre-order, so leaves are consumed in Leaves()
+	a := &Aggregates{root: n, entries: make(map[*Node]*aggEntry), index: index}
+	// build visits nodes in pre-order, so leaves are consumed in index.leaves
 	// order and the counter stays aligned with folds.
 	leafIdx := 0
-	var build func(m *Node) (*aggEntry, error)
-	build = func(m *Node) (*aggEntry, error) {
-		e := &aggEntry{}
+	var build func(m *Node) error
+	build = func(m *Node) error {
 		if m.IsLeaf() {
-			f := folds[leafIdx]
+			a.entries[m] = folds[leafIdx]
 			leafIdx++
-			e.trace, e.started, e.missing = f.trace, f.started, f.missing
-		} else {
-			// Interior nodes hosting instances are invalid (Validate rejects
-			// them) but AggregatePower tolerates them, so mirror its fold:
-			// own instances first, then child aggregates.
-			for _, id := range m.Instances {
-				s, ok := power(id)
-				if !ok {
-					e.missing = append(e.missing, id)
-					continue
-				}
-				if !e.started {
-					e.trace = s.Clone()
-					e.started = true
-					continue
-				}
-				if err := e.trace.AddInPlace(s); err != nil {
-					return nil, fmt.Errorf("powertree: aggregating %q under %q: %w", id, m.Name, err)
-				}
-			}
-			for _, c := range m.Children {
-				ce, err := build(c)
-				if err != nil {
-					return nil, err
-				}
-				e.missing = append(e.missing, ce.missing...)
-				if !ce.started {
-					continue
-				}
-				if !e.started {
-					// Clone: the child's aggregate stays live in the result
-					// and must not be mutated by further adds here.
-					e.trace = ce.trace.Clone()
-					e.started = true
-					continue
-				}
-				if err := e.trace.AddInPlace(ce.trace); err != nil {
-					return nil, fmt.Errorf("powertree: combining %q into %q: %w", c.Name, m.Name, err)
-				}
+			return nil
+		}
+		for _, c := range m.Children {
+			if err := build(c); err != nil {
+				return err
 			}
 		}
-		if e.started {
-			e.peak = e.trace.Peak()
+		e, err := combineEntry(m, power, func(c *Node) *aggEntry { return a.entries[c] })
+		if err != nil {
+			return err
 		}
 		a.entries[m] = e
-		return e, nil
+		return nil
 	}
-	if _, err := build(n); err != nil {
+	if err := build(n); err != nil {
 		return nil, err
 	}
 	// Counted after the leaf fan-out and serial combine complete, so the
@@ -153,6 +218,17 @@ func (n *Node) AggregateAllParallel(power PowerFn, workers int) (*Aggregates, er
 
 // Root returns the node the aggregation was rooted at.
 func (a *Aggregates) Root() *Node { return a.root }
+
+// Leaves returns every leaf of the aggregated tree in tree order, from the
+// snapshot's cached walk. The slice is shared with the snapshot and must not
+// be mutated.
+func (a *Aggregates) Leaves() []*Node { return a.index.leaves }
+
+// NodesAtLevel returns the aggregated tree's nodes at the given level in
+// tree order, from the snapshot's cached walk — Node.NodesAtLevel without
+// the per-call re-walk and re-allocation. The slice is shared with the
+// snapshot and must not be mutated.
+func (a *Aggregates) NodesAtLevel(l Level) []*Node { return a.index.byLevel[l] }
 
 // Trace returns the node's aggregate power trace. ok is false when the node
 // was not part of the aggregated tree or hosts no traced instances. The
@@ -197,7 +273,7 @@ func (a *Aggregates) Headroom(n *Node) float64 {
 // Node.SumOfPeaks bit-for-bit.
 func (a *Aggregates) SumOfPeaks(level Level) float64 {
 	var total float64
-	for _, m := range a.root.NodesAtLevel(level) {
+	for _, m := range a.index.byLevel[level] {
 		total += a.Peak(m)
 	}
 	return total
@@ -206,7 +282,7 @@ func (a *Aggregates) SumOfPeaks(level Level) float64 {
 // LevelPeaks returns the peak aggregate power of every node at a level,
 // keyed by node name.
 func (a *Aggregates) LevelPeaks(level Level) map[string]float64 {
-	nodes := a.root.NodesAtLevel(level)
+	nodes := a.index.byLevel[level]
 	out := make(map[string]float64, len(nodes))
 	for _, m := range nodes {
 		out[m.Name] = a.Peak(m)

@@ -97,3 +97,63 @@ func BenchmarkSumOfPeaksAllLevels(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAggregatorDeltaTick: one dirty leaf out of 16 folded in
+// incrementally — the admission/retirement tick cost AggregateAll pays in
+// full every time.
+func BenchmarkAggregatorDeltaTick(b *testing.B) {
+	tree, pf := benchTree(b)
+	agg, err := NewAggregator(tree, pf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaf := tree.Leaves()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := agg.MarkDirty(leaf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := agg.Update(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedLevelWalk: NodesAtLevel through the snapshot's cached index
+// — the regression guard for the walk cache (compare BenchmarkUncachedLevelWalk).
+func BenchmarkCachedLevelWalk(b *testing.B) {
+	tree, pf := benchTree(b)
+	aggs, err := tree.AggregateAll(pf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, level := range Levels {
+			n += len(aggs.NodesAtLevel(level))
+		}
+		if n == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+// BenchmarkUncachedLevelWalk: the pre-cache cost model — a full tree walk
+// and fresh allocation per NodesAtLevel call.
+func BenchmarkUncachedLevelWalk(b *testing.B) {
+	tree, _ := benchTree(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, level := range Levels {
+			n += len(tree.NodesAtLevel(level))
+		}
+		if n == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
