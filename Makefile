@@ -2,16 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-annotate lint-json test test-race race cover bench bench-parallel bench-json bench-scale bench-scale-short bench-smoke smoke soak soak-short frag-sweep frag-sweep-short experiments ablations extensions fuzz fuzz-short clean
+.PHONY: all check build vet lint lint-annotate lint-json test test-race race cover bench bench-parallel bench-json bench-scale bench-scale-short bench-smoke smoke soak soak-short plan-soak-short frag-sweep frag-sweep-short experiments ablations extensions fuzz fuzz-short clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, the project linters, the full test
 # suite, the same suite again under the race detector (the parallel pipeline
 # must be data-race-free and bit-identical at any worker count), the smoothopd
-# replay smoke, the short fault-injection soak, and the short online-placement
-# fragmentation sweep.
-check: build vet lint test test-race smoke soak-short frag-sweep-short
+# replay smoke, the short fault-injection soak, the concurrent what-if planner
+# soak, and the short online-placement fragmentation sweep.
+check: build vet lint test test-race smoke soak-short plan-soak-short frag-sweep-short
 
 build:
 	$(GO) build ./...
@@ -92,6 +92,13 @@ soak:
 # run twice in-process to pin bit-identical reports and counter deltas.
 soak-short:
 	$(GO) test -run 'TestSoak|TestValidateFaultFlags' -count=1 ./cmd/smoothopd
+
+# plan-soak-short replays a daemon and fires concurrent /v1/plan planners at
+# it — a mix of valid, invalid and load-shedding queries with a deliberately
+# tiny in-flight limit. Asserts zero envelope-less responses and a bounded
+# p99 latency.
+plan-soak-short:
+	$(GO) test -run 'TestPlanSoakShort|TestValidatePlanFlags' -count=1 ./cmd/smoothopd
 
 # frag-sweep replays an arrival stream under each online placement policy and
 # reports the power-fragmentation rate as load grows (FGD Fig. 7(a) analogue).

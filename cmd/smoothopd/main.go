@@ -39,6 +39,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/placement"
+	"repro/internal/plan"
 	"repro/internal/powertree"
 	"repro/internal/tracestore"
 	"repro/internal/workload"
@@ -58,6 +59,9 @@ type options struct {
 	metricsEvery time.Duration
 	pprof        bool
 
+	planMaxInflight int
+	planDeadline    time.Duration
+
 	faultsMode string
 	faultSeed  int64
 	faultDays  int
@@ -76,6 +80,8 @@ var (
 	errBadFaults    = errors.New(`-faults must be "off", "light" or "heavy"`)
 	errBadFaultDays = errors.New("-fault-days must be ≥ 0")
 	errBadDrift     = errors.New("-soak-drift must be positive")
+	errBadPlanMax   = errors.New("-plan-max-inflight must not be negative (0 means the default)")
+	errBadPlanDL    = errors.New("-plan-deadline must not be negative (0 means the default)")
 	errSoakNoFaults = errors.New("-soak needs -faults light or heavy (a clean soak compares nothing)")
 	errSoakDrift    = errors.New("soak: faulted replay drifted beyond the bound")
 )
@@ -106,6 +112,12 @@ func validate(o options) error {
 	}
 	if o.faultDays < 0 {
 		return fmt.Errorf("%w, got %d", errBadFaultDays, o.faultDays)
+	}
+	if o.planMaxInflight < 0 {
+		return fmt.Errorf("%w, got %d", errBadPlanMax, o.planMaxInflight)
+	}
+	if o.planDeadline < 0 {
+		return fmt.Errorf("%w, got %s", errBadPlanDL, o.planDeadline)
 	}
 	if o.soak {
 		if o.soakDrift <= 0 {
@@ -138,6 +150,8 @@ func main() {
 	flag.StringVar(&o.listen, "listen", "", "after the replay, serve the runtime's HTTP API on this address (e.g. :8080) until interrupted")
 	flag.DurationVar(&o.metricsEvery, "metrics", 0, "dump the metric registry to stderr at this interval during the replay (0 disables)")
 	flag.BoolVar(&o.pprof, "pprof", false, "with -listen, also mount net/http/pprof under /debug/pprof/")
+	flag.IntVar(&o.planMaxInflight, "plan-max-inflight", plan.DefaultMaxInFlight, "concurrent POST /v1/plan evaluations before requests shed with 429")
+	flag.DurationVar(&o.planDeadline, "plan-deadline", plan.DefaultDeadline, "per-query deadline for POST /v1/plan evaluations")
 	flag.StringVar(&o.faultsMode, "faults", "off", "fault-injection preset: off, light or heavy")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "fault injector seed (0 derives it from -seed)")
 	flag.IntVar(&o.faultDays, "fault-days", 0, "restrict telemetry faults to this many days after training (0 = the whole replay)")
@@ -382,8 +396,15 @@ func run(o options) error {
 		dumpMetrics(os.Stderr)
 	}
 	if o.listen != "" {
-		handler := core.HTTPHandler(rt)
-		routes := "GET /v1/{health,status,tree,history,metrics} + deprecated legacy aliases"
+		planner, err := plan.NewService(rt.PlanSnapshot, plan.Config{
+			MaxInFlight: o.planMaxInflight,
+			Deadline:    o.planDeadline,
+		})
+		if err != nil {
+			return err
+		}
+		handler := core.HTTPHandlerWithPlanner(rt, planner, time.Now, obs.Default())
+		routes := "GET /v1/{health,status,tree,history,metrics}, POST /v1/{instances,plan} + deprecated legacy aliases"
 		if o.pprof {
 			mux := http.NewServeMux()
 			mux.Handle("/", handler)

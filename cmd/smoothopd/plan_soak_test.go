@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestValidatePlanFlags(t *testing.T) {
+	good := options{dc: "DC1", scale: 1, step: time.Hour, weeks: 3, floor: 1.25, swaps: 24,
+		planMaxInflight: 8, planDeadline: time.Second}
+	if err := validate(good); err != nil {
+		t.Fatalf("valid plan options rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*options)
+		want   error
+	}{
+		{"negative plan in-flight", func(o *options) { o.planMaxInflight = -1 }, errBadPlanMax},
+		{"negative plan deadline", func(o *options) { o.planDeadline = -time.Second }, errBadPlanDL},
+	}
+	for _, tc := range cases {
+		o := good
+		tc.mutate(&o)
+		if err := validate(o); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Zero means "use the planner default", so the zero value stays valid —
+	// existing callers build options{} without plan fields.
+	good.planMaxInflight = 0
+	good.planDeadline = 0
+	if err := validate(good); err != nil {
+		t.Fatalf("zero plan flags rejected: %v", err)
+	}
+}
+
+// treeDoc mirrors just enough of the /v1/tree wire format to find a hosted
+// leaf for soak queries.
+type treeDoc struct {
+	Name      string     `json:"name"`
+	Instances []string   `json:"instances"`
+	Children  []*treeDoc `json:"children"`
+}
+
+// firstHostedLeaf walks the tree document to the first leaf hosting an
+// instance.
+func firstHostedLeaf(doc *treeDoc) *treeDoc {
+	if len(doc.Children) == 0 {
+		if len(doc.Instances) > 0 {
+			return doc
+		}
+		return nil
+	}
+	for _, child := range doc.Children {
+		if leaf := firstHostedLeaf(child); leaf != nil {
+			return leaf
+		}
+	}
+	return nil
+}
+
+// TestPlanSoakShort is the `make plan-soak-short` gate: a replayed daemon
+// serves /v1/plan to a pack of concurrent planners firing a mix of valid,
+// invalid and load-inducing queries (the in-flight limit is pinned low so
+// shedding genuinely fires). Every single response — success, client error,
+// shed, deadline — must be well-formed JSON in the documented shape (zero
+// envelope-less responses), and the p99 latency must stay bounded by the
+// planner deadline plus scheduling slack.
+func TestPlanSoakShort(t *testing.T) {
+	var handlers []http.Handler
+	listenAndServe = func(addr string, h http.Handler) error {
+		handlers = append(handlers, h)
+		return nil
+	}
+	defer func() { listenAndServe = http.ListenAndServe }()
+
+	const deadline = 5 * time.Second
+	o := options{dc: "DC1", scale: 1, step: time.Hour, weeks: 3, seed: 1,
+		floor: 1.25, swaps: 8, listen: "127.0.0.1:0",
+		planMaxInflight: 2, planDeadline: deadline}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if len(handlers) != 1 {
+		t.Fatalf("expected 1 captured handler, got %d", len(handlers))
+	}
+	srv := httptest.NewServer(handlers[0])
+	defer srv.Close()
+	client := srv.Client()
+
+	// Learn a real service and leaf from the replayed placement.
+	resp, err := client.Get(srv.URL + "/v1/tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc treeDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	leaf := firstHostedLeaf(&doc)
+	if leaf == nil {
+		t.Fatal("replayed tree hosts no instances")
+	}
+	id := leaf.Instances[0]
+	cut := strings.LastIndex(id, "-")
+	if cut <= 0 {
+		t.Fatalf("instance id %q does not follow the <service>-<nnnn> convention", id)
+	}
+	service := id[:cut]
+
+	queries := []string{
+		`{"kind":"replace_service","service":"` + service + `"}`,
+		`{"kind":"add_instances","archetype":"` + service + `","count":2}`,
+		`{"kind":"trip_breaker","node":"` + leaf.Name + `","budget_fraction":0.5}`,
+		`{"kind":"trip_breaker","node":"` + doc.Name + `","budget_fraction":0.9}`,
+		`{"kind":"warp_core_breach"}`,                    // 400
+		`{"kind":"replace_service","service":"no-such"}`, // 404
+	}
+
+	const planners = 8
+	const rounds = 4
+	var (
+		mu        sync.Mutex
+		durations []time.Duration
+		statuses  = make(map[int]int)
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, planners*rounds*len(queries))
+	for g := 0; g < planners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for _, q := range queries {
+					began := time.Now()
+					resp, err := client.Post(srv.URL+"/v1/plan", "application/json", strings.NewReader(q))
+					if err != nil {
+						errs <- "post: " + err.Error()
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					took := time.Since(began)
+					if err != nil {
+						errs <- "read: " + err.Error()
+						return
+					}
+					if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+						errs <- "query " + q + ": Content-Type " + ct
+						continue
+					}
+					if resp.StatusCode == http.StatusOK {
+						var res struct {
+							Kind string `json:"kind"`
+						}
+						if json.Unmarshal(body, &res) != nil || res.Kind == "" {
+							errs <- "200 response without a result body: " + string(body)
+						}
+					} else {
+						var env struct {
+							Error struct {
+								Code string `json:"code"`
+							} `json:"error"`
+						}
+						if json.Unmarshal(body, &env) != nil || env.Error.Code == "" {
+							errs <- "envelope-less error response: " + resp.Status + " " + string(body)
+						}
+						if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+							errs <- "shed response without Retry-After"
+						}
+					}
+					mu.Lock()
+					durations = append(durations, took)
+					statuses[resp.StatusCode]++
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	want := planners * rounds * len(queries)
+	if len(durations) != want {
+		t.Fatalf("recorded %d responses, want %d", len(durations), want)
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Error("soak produced no successful plan responses")
+	}
+	if statuses[http.StatusBadRequest] == 0 || statuses[http.StatusNotFound] == 0 {
+		t.Errorf("soak error mix incomplete: %v", statuses)
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	p99 := durations[len(durations)*99/100]
+	if bound := deadline + 5*time.Second; p99 > bound {
+		t.Errorf("p99 latency %v exceeds %v (statuses %v)", p99, bound, statuses)
+	}
+	t.Logf("plan soak: %d responses, statuses %v, p99 %v", len(durations), statuses, p99)
+}

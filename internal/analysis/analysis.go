@@ -159,6 +159,7 @@ var pipelinePackages = map[string]bool{
 	"faults":      true,
 	"metrics":     true,
 	"timeseries":  true,
+	"plan":        true,
 }
 
 // IsPipelinePackage reports whether an import path addresses one of the

@@ -98,6 +98,7 @@ func TestIsPipelinePackage(t *testing.T) {
 	for path, want := range map[string]bool{
 		"repro/internal/score":     true,
 		"repro/internal/cluster":   true,
+		"repro/internal/plan":      true,
 		"repro/cmd/experiments":    true,
 		"repro/internal/analysis":  false,
 		"repro/internal/detmap":    false,

@@ -75,6 +75,7 @@ func (r *Runtime) AdmitInstance(id, service string, asOf time.Time, trainWeeks i
 	}
 	obsRuntimeAdmissions.Inc()
 	r.fragDelta(r.onlineTraces, true, leaf)
+	r.invalidatePlanSnapshot()
 	return leaf.Name, nil
 }
 
@@ -95,6 +96,7 @@ func (r *Runtime) RetireInstance(id string) (string, error) {
 		delete(r.onlineTraces, id)
 		obsRuntimeRetirements.Inc()
 		r.fragDelta(r.onlineTraces, true, leaf)
+		r.invalidatePlanSnapshot()
 		return leaf.Name, nil
 	}
 	// No online view is live (e.g. right after Bootstrap or Tick): detach
@@ -109,6 +111,7 @@ func (r *Runtime) RetireInstance(id string) (string, error) {
 			}
 			obsRuntimeRetirements.Inc()
 			r.fragDelta(r.traces, false, leaf)
+			r.invalidatePlanSnapshot()
 			return leaf.Name, nil
 		}
 	}
@@ -161,8 +164,10 @@ func (r *Runtime) ensureOnline(asOf time.Time, trainWeeks int) error {
 	r.onlineAsOf = asOf
 	r.onlineWeeks = trainWeeks
 	// Re-anchor the fragmentation aggregator on the new view's trace map so
-	// subsequent admissions can refresh gauges by delta.
+	// subsequent admissions can refresh gauges by delta, and drop the cached
+	// planning snapshot — it captured the previous trace view.
 	r.rebuildFragView(traces, true)
+	r.invalidatePlanSnapshot()
 	return nil
 }
 

@@ -2,15 +2,20 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/placement"
+	"repro/internal/plan"
 )
 
 // HTTPHandler exposes a runtime's state over HTTP for dashboards and
@@ -29,10 +34,18 @@ import (
 //	                             body {"id","service"} plus optional
 //	                             "as_of" (RFC 3339) and "train_weeks"
 //	DELETE /v1/instances/{id}  — retire a placed instance
+//	POST   /v1/plan            — evaluate a what-if query (plan.Query) on a
+//	                             snapshot of the current placement; kinds:
+//	                             replace_service, add_instances, trip_breaker
 //
 // Errors are a uniform JSON envelope: {"error":{"code":..,"message":..}}.
 // Unknown paths get the envelope with code "not_found"; disallowed methods
-// get code "method_not_allowed" plus an Allow header.
+// get code "method_not_allowed" plus an Allow header. Request bodies on
+// mutating routes are capped at maxRequestBody (413 "request_too_large"
+// beyond it) and decoded strictly: unknown fields and trailing data after
+// the first JSON value are 400 "bad_request". Queries shed by the planner's
+// in-flight limit get 429 "overloaded" with a Retry-After hint; queries (or
+// admissions) cut off by a deadline get 503 "deadline_exceeded".
 //
 // The pre-versioning paths (/healthz, /status, /tree, /history, /metrics)
 // remain as deprecated aliases: same behaviour, plus a "Deprecation: true"
@@ -61,10 +74,26 @@ func HTTPHandlerWithClock(rt *Runtime, now func() time.Time) http.Handler {
 // HTTPHandlerWithObs is HTTPHandlerWithClock with an explicit metrics
 // registry: /metrics serves reg, and the API's own request/error counters
 // register there. Tests use a fresh registry per handler to keep the
-// exposition independent of other activity in the process.
+// exposition independent of other activity in the process. The planning
+// service behind /v1/plan runs with default limits; use
+// HTTPHandlerWithPlanner to tune them.
 func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) http.Handler {
+	// The zero config is always valid and rt.PlanSnapshot is non-nil, so
+	// construction cannot fail here.
+	planner, err := plan.NewService(rt.PlanSnapshot, plan.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return HTTPHandlerWithPlanner(rt, planner, now, reg)
+}
+
+// HTTPHandlerWithPlanner is HTTPHandlerWithObs with an explicit planning
+// service (the daemon builds one from its -plan-max-inflight and
+// -plan-deadline flags; tests pin tiny limits to exercise shedding).
+func HTTPHandlerWithPlanner(rt *Runtime, planner *plan.Service, now func() time.Time, reg *obs.Registry) http.Handler {
 	api := &httpAPI{
-		rt: rt,
+		rt:      rt,
+		planner: planner,
 		requests: reg.Counter("smoothop_http_requests_total",
 			"HTTP API requests received."),
 		errors: reg.Counter("smoothop_http_errors_total",
@@ -162,8 +191,7 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 			AsOf       string `json:"as_of"`
 			TrainWeeks int    `json:"train_weeks"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			api.writeError(w, http.StatusBadRequest, "bad_request", "decoding body: "+err.Error())
+		if !api.decodeBody(w, r, &body) {
 			return
 		}
 		if body.ID == "" || body.Service == "" {
@@ -193,6 +221,19 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 		}
 		api.writeJSONStatus(w, http.StatusCreated, instanceView{ID: body.ID, Leaf: leaf})
 	}
+	planH := func(w http.ResponseWriter, r *http.Request) {
+		var q plan.Query
+		if !api.decodeBody(w, r, &q) {
+			return
+		}
+		res, err := planner.Evaluate(r.Context(), q)
+		if err != nil {
+			api.writePlanError(w, err)
+			return
+		}
+		api.writeJSON(w, res)
+	}
+
 	retire := func(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/v1/instances/")
 		if id == "" || strings.Contains(id, "/") {
@@ -216,6 +257,7 @@ func HTTPHandlerWithObs(rt *Runtime, now func() time.Time, reg *obs.Registry) ht
 	mux.HandleFunc("/v1/metrics", api.get(metrics))
 	mux.HandleFunc("/v1/instances", api.method(http.MethodPost, admit))
 	mux.HandleFunc("/v1/instances/", api.method(http.MethodDelete, retire))
+	mux.HandleFunc("/v1/plan", api.method(http.MethodPost, planH))
 	// Deprecated pre-versioning aliases: identical behaviour plus
 	// deprecation headers pointing at the successor route.
 	mux.HandleFunc("/healthz", api.get(deprecated("/v1/health", healthz)))
@@ -244,17 +286,25 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 // httpAPI bundles the runtime with the API's own instrumentation.
 type httpAPI struct {
 	rt       *Runtime
+	planner  *plan.Service
 	requests *obs.Counter
 	errors   *obs.Counter
 }
+
+// maxRequestBody caps every mutating request's body. 1 MiB is orders of
+// magnitude above any legitimate admission or plan query, and small enough
+// that a hostile client cannot make a handler buffer arbitrary data.
+const maxRequestBody = 1 << 20
 
 // get wraps a handler with request counting and the GET-only method check.
 func (a *httpAPI) get(h http.HandlerFunc) http.HandlerFunc {
 	return a.method(http.MethodGet, h)
 }
 
-// method wraps a handler with request counting and a single-method check;
-// anything else gets the 405 envelope plus an Allow header.
+// method wraps a handler with request counting, a single-method check —
+// anything else gets the 405 envelope plus an Allow header — and, for
+// mutating methods, the request-body cap: every byte past maxRequestBody
+// surfaces as *http.MaxBytesError wherever the handler reads the body.
 func (a *httpAPI) method(allow string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		a.requests.Inc()
@@ -264,8 +314,56 @@ func (a *httpAPI) method(allow string, h http.HandlerFunc) http.HandlerFunc {
 				r.Method+" is not allowed; use "+allow)
 			return
 		}
+		if allow != http.MethodGet && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+		}
 		h(w, r)
 	}
+}
+
+// decodeBody strictly decodes a request body into dst: unknown fields are
+// rejected, as is any trailing data after the first JSON value (so
+// `{"id":"x"} garbage` no longer passes), and a body past the cap becomes
+// the 413 envelope. Returns false after writing the error response.
+func (a *httpAPI) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		a.writeDecodeError(w, err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		if err != nil && !isSyntaxish(err) {
+			// A read failure (body cap, broken connection) rather than
+			// genuine trailing content.
+			a.writeDecodeError(w, err)
+			return false
+		}
+		a.writeError(w, http.StatusBadRequest, "bad_request",
+			"request body must be a single JSON value with no trailing data")
+		return false
+	}
+	return true
+}
+
+// isSyntaxish reports whether a decode failure describes malformed JSON
+// content (as opposed to an I/O failure while reading the body).
+func isSyntaxish(err error) bool {
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	return errors.As(err, &syn) || errors.As(err, &typ)
+}
+
+// writeDecodeError maps a body-decode failure onto the envelope: the body
+// cap is 413 "request_too_large", everything else 400 "bad_request".
+func (a *httpAPI) writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		a.writeError(w, http.StatusRequestEntityTooLarge, "request_too_large",
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	a.writeError(w, http.StatusBadRequest, "bad_request", "decoding body: "+err.Error())
 }
 
 // writeAdmissionError maps AdmitInstance/RetireInstance failures onto the
@@ -280,6 +378,34 @@ func (a *httpAPI) writeAdmissionError(w http.ResponseWriter, err error) {
 		a.writeError(w, http.StatusConflict, "no_capacity", err.Error())
 	case errors.Is(err, placement.ErrUnknownInstance):
 		a.writeError(w, http.StatusNotFound, "unknown_instance", err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// A deadline or disconnect is the caller's (or the limiter's) doing,
+		// not a server bug — 503, not the 500 this used to fall through to.
+		a.writeError(w, http.StatusServiceUnavailable, "deadline_exceeded", err.Error())
+	default:
+		a.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// writePlanError maps plan.Service failures onto the error envelope. Shed
+// queries carry a Retry-After hint sized to the planner's deadline: by then
+// at least one in-flight slot must have freed.
+func (a *httpAPI) writePlanError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, plan.ErrOverloaded):
+		secs := int(a.planner.RetryAfter() / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		a.writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+	case errors.Is(err, plan.ErrBadQuery):
+		a.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, plan.ErrUnknownService):
+		a.writeError(w, http.StatusNotFound, "unknown_service", err.Error())
+	case errors.Is(err, plan.ErrUnknownNode):
+		a.writeError(w, http.StatusNotFound, "unknown_node", err.Error())
+	case errors.Is(err, ErrNotPlaced):
+		a.writeError(w, http.StatusConflict, "not_placed", err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		a.writeError(w, http.StatusServiceUnavailable, "deadline_exceeded", err.Error())
 	default:
 		a.writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}

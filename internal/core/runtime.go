@@ -11,6 +11,7 @@ import (
 	"repro/internal/detmap"
 	"repro/internal/faults"
 	"repro/internal/placement"
+	"repro/internal/plan"
 	"repro/internal/powertree"
 	"repro/internal/timeseries"
 	"repro/internal/tracestore"
@@ -100,6 +101,10 @@ type Runtime struct {
 	// aggregator's PowerFn captured, so a view switch forces a rebuild.
 	fragAgg        *powertree.Aggregator //smoothop:guardedby mu
 	fragViewOnline bool                  //smoothop:guardedby mu
+
+	// planSnap is the cached what-if planning snapshot, shared by concurrent
+	// /v1/plan queries between placement mutations (see plan.go).
+	planSnap *plan.Snapshot //smoothop:guardedby mu
 }
 
 // RuntimeConfig tunes the runtime. It is a value handed over once at
@@ -373,6 +378,7 @@ func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trai
 	}
 	r.placed = true
 	r.evalAsOf = asOf
+	r.invalidatePlanSnapshot()
 	return nil
 }
 
@@ -506,6 +512,7 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 	r.traces = fresh
 	r.evalAsOf = asOf
 	r.rebuildFragView(fresh, false)
+	r.invalidatePlanSnapshot()
 
 	if err := r.emergencyStep(rep, from, asOf, fresh); err != nil {
 		return nil, err

@@ -1,0 +1,64 @@
+package plan
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned by Service.Evaluate when the in-flight limit
+// has been reached. The HTTP layer maps it to 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("plan: too many queries in flight")
+
+// gate is the request-level load shedder: a bounded in-flight counter with
+// hysteresis, the same arm/release idiom the capping controller uses for
+// breaker caps. Shedding arms when in-flight work reaches max and releases
+// only once it has drained to readmit — without the gap, a service hovering
+// exactly at the limit would alternate accept/shed on every arrival and
+// every queued retry storm would land at once.
+type gate struct {
+	mu sync.Mutex
+
+	max     int
+	readmit int
+
+	inflight int  //smoothop:guardedby mu
+	shedding bool //smoothop:guardedby mu
+}
+
+// newGate builds a shedder admitting at most max concurrent evaluations,
+// re-admitting after a shed only once in-flight work drains to readmit.
+func newGate(max, readmit int) *gate {
+	if readmit >= max {
+		readmit = max - 1
+	}
+	if readmit < 0 {
+		readmit = 0
+	}
+	return &gate{max: max, readmit: readmit}
+}
+
+// acquire claims an evaluation slot, reporting false when the request must
+// be shed. Every acquire(true) must be paired with exactly one release.
+func (g *gate) acquire() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.shedding && g.inflight > g.readmit {
+		return false
+	}
+	g.shedding = false
+	if g.inflight >= g.max {
+		g.shedding = true
+		return false
+	}
+	g.inflight++
+	obsInFlight.Set(float64(g.inflight))
+	return true
+}
+
+// release returns an evaluation slot.
+func (g *gate) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inflight--
+	obsInFlight.Set(float64(g.inflight))
+}

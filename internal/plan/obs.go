@@ -1,0 +1,21 @@
+package plan
+
+import "repro/internal/obs"
+
+// Planning-service metrics (see DESIGN.md "Observability"). Counters are
+// bumped on the request path, outside any parallel closure; the evaluation
+// span brackets the whole query including snapshot acquisition.
+var (
+	obsSnapshots = obs.Default().Counter("smoothop_plan_snapshots_total",
+		"Placement snapshots captured for what-if planning.")
+	obsQueries = obs.Default().Counter("smoothop_plan_queries_total",
+		"What-if queries evaluated successfully.")
+	obsQueryErrors = obs.Default().Counter("smoothop_plan_query_errors_total",
+		"What-if queries that failed (bad query, unknown target, deadline).")
+	obsShed = obs.Default().Counter("smoothop_plan_shed_total",
+		"What-if queries shed by the in-flight limiter.")
+	obsInFlight = obs.Default().Gauge("smoothop_plan_in_flight",
+		"What-if queries currently evaluating.")
+	obsEvalSpan = obs.Default().Span("smoothop_plan_eval_seconds",
+		"Wall time of one what-if query evaluation (snapshot + scenario + reports).")
+)
