@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint lint-annotate lint-json test test-race race cover bench bench-parallel bench-json bench-scale bench-scale-short bench-smoke smoke soak soak-short plan-soak-short frag-sweep frag-sweep-short experiments ablations extensions fuzz fuzz-short clean
+.PHONY: all check build vet lint lint-annotate lint-json test test-race race cover bench bench-parallel bench-json bench-scale bench-scale-short bench-smoke smoke soak soak-short plan-soak-short frag-sweep frag-sweep-short multidim-sweep multidim-sweep-short experiments ablations extensions fuzz fuzz-short clean
 
 all: check
 
@@ -11,7 +11,7 @@ all: check
 # must be data-race-free and bit-identical at any worker count), the smoothopd
 # replay smoke, the short fault-injection soak, the concurrent what-if planner
 # soak, and the short online-placement fragmentation sweep.
-check: build vet lint test test-race smoke soak-short plan-soak-short frag-sweep-short
+check: build vet lint test test-race smoke soak-short plan-soak-short frag-sweep-short multidim-sweep-short
 
 build:
 	$(GO) build ./...
@@ -109,6 +109,17 @@ frag-sweep:
 # the asynchrony-aware policy must beat random and best-fit at high load.
 frag-sweep-short:
 	$(GO) test -run 'TestFragSweepShort' -count=1 ./internal/experiments
+
+# multidim-sweep replays an arrival stream with multi-resource demands under
+# the power-only and capacity-aware policies and reports stranded leaves.
+multidim-sweep:
+	$(GO) run ./cmd/experiments -multidim-sweep
+
+# multidim-sweep-short is the CI-sized gate: bit-identical at workers {1,8}
+# and the capacity-aware policy must strand strictly fewer leaves than
+# power-only at equal admissions and equal-or-better Σ leaf peaks.
+multidim-sweep-short:
+	$(GO) test -run 'TestMultiDimSweepShort' -count=1 ./internal/experiments
 
 experiments:
 	$(GO) run ./cmd/experiments -all

@@ -105,6 +105,18 @@ func benchmarks() (map[string]func(b *testing.B), error) {
 				}
 			}
 		},
+		"score/farb_composite": func(b *testing.B) {
+			b.ReportAllocs()
+			w := score.DefaultFARBWeights()
+			// Four residual dimensions (power + three capacities) is the
+			// realistic upper end for a candidate leaf.
+			residuals := []float64{0.42, 0.13, 0.87, 0.61}
+			for i := 0; i < b.N; i++ {
+				if _, err := score.Composite(w, residuals, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
 		"powertree/aggregate_all": func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -174,6 +186,7 @@ func benchmarks() (map[string]func(b *testing.B), error) {
 var names = []string{
 	"score/basis_vector_into",
 	"score/vectors_batch512",
+	"score/farb_composite",
 	"powertree/aggregate_all",
 	"powertree/per_node_oracle",
 	"timeseries/percentile_calc_week",

@@ -9,6 +9,7 @@
 //	experiments -ablations            # design-choice ablations
 //	experiments -extensions           # UPS/capping/routing studies + sensitivity sweeps
 //	experiments -frag-sweep           # online-placement fragmentation-rate sweep
+//	experiments -multidim-sweep       # multi-resource stranded-node sweep
 //	experiments -scale 4 -step 10m    # sizing knobs (paper-fidelity defaults)
 package main
 
@@ -32,6 +33,7 @@ func main() {
 		ablations  = flag.Bool("ablations", false, "run design-choice ablations")
 		extensions = flag.Bool("extensions", false, "run extension studies (UPS baseline, capping frequency)")
 		fragSweep  = flag.Bool("frag-sweep", false, "run the online-placement power-fragmentation sweep")
+		multiDim   = flag.Bool("multidim-sweep", false, "run the multi-resource stranded-node sweep")
 		scale      = flag.Int("scale", 4, "fleet scale multiplier")
 		step       = flag.Duration("step", 10*time.Minute, "trace sampling interval")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -47,7 +49,7 @@ func main() {
 		os.Exit(2)
 	}
 	opt := experiments.Options{Scale: *scale, Step: *step, Seed: *seed, Workers: *workers}
-	if err := run(opt, dcs, *fig, *table, *all, *ablations, *extensions, *fragSweep, *csvDir); err != nil {
+	if err := run(opt, dcs, *fig, *table, *all, *ablations, *extensions, *fragSweep, *multiDim, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -103,8 +105,8 @@ func findRun(runs []*experiments.DCRun, name workload.DCName) *experiments.DCRun
 	return nil
 }
 
-func run(opt experiments.Options, dcs []workload.DCName, fig, table int, all, ablations, extensions, fragSweep bool, csvDir string) error {
-	if !all && fig == 0 && table == 0 && !ablations && !extensions && !fragSweep && csvDir == "" {
+func run(opt experiments.Options, dcs []workload.DCName, fig, table int, all, ablations, extensions, fragSweep, multiDim bool, csvDir string) error {
+	if !all && fig == 0 && table == 0 && !ablations && !extensions && !fragSweep && !multiDim && csvDir == "" {
 		all = true
 	}
 	if len(dcs) == 0 {
@@ -272,6 +274,15 @@ func run(opt experiments.Options, dcs []workload.DCName, fig, table int, all, ab
 				return err
 			}
 			fmt.Println(experiments.FormatFragSweep(dc, rows))
+		}
+	}
+	if all || multiDim {
+		for _, dc := range dcs {
+			rows, err := experiments.MultiDimSweep(dc, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatMultiDimSweep(dc, rows))
 		}
 	}
 	if csvDir != "" {

@@ -17,7 +17,7 @@ func fastOpt() experiments.Options {
 // cannot instantiate and asserts run reports a named, non-nil error instead
 // of silently skipping the DC or emitting partial output.
 func TestRunFailingConfigIsNamedError(t *testing.T) {
-	err := run(fastOpt(), []workload.DCName{"DC9"}, 10, 0, false, false, false, false, "")
+	err := run(fastOpt(), []workload.DCName{"DC9"}, 10, 0, false, false, false, false, false, "")
 	if err == nil {
 		t.Fatal("run with an unknown datacenter returned nil error")
 	}
@@ -30,7 +30,7 @@ func TestRunFailingConfigIsNamedError(t *testing.T) {
 // runs[2] indexing: asking for fig 9 without DC3 in the subset must fail
 // up front with an error naming the missing datacenter.
 func TestRunFig9RequiresDC3(t *testing.T) {
-	err := run(fastOpt(), []workload.DCName{workload.DC1}, 9, 0, false, false, false, false, "")
+	err := run(fastOpt(), []workload.DCName{workload.DC1}, 9, 0, false, false, false, false, false, "")
 	if err == nil {
 		t.Fatal("fig 9 without DC3 returned nil error")
 	}

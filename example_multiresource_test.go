@@ -1,0 +1,68 @@
+package repro_test
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// Multi-resource placement: leaves declare capacity dimensions beyond power
+// (here a "gpu" pool), instances declare demand vectors, and the FARB
+// composite policy places arrivals so no dimension is overcommitted.
+func Example_multiResource() {
+	tree, err := repro.BuildTree(repro.TopologySpec{
+		Name: "dc", SuitesPerDC: 1, MSBsPerSuite: 1, SBsPerMSB: 1, RPPsPerSB: 2,
+		LeafBudget:     100,
+		LeafCapacities: repro.ResourceVector{"gpu": 6},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Every instance draws a flat 10 W; the interesting dimension is gpu.
+	start := time.Date(2016, 7, 25, 0, 0, 0, 0, time.UTC)
+	traces := func(id string) (repro.Series, bool) {
+		return repro.Series{Start: start, Step: time.Hour, Values: []float64{10, 10}}, true
+	}
+
+	placer, err := repro.NewOnlinePlacer(tree, traces, repro.PolicyConfig{
+		Kind:    repro.PolicyFARB,
+		Weights: repro.DefaultFARBWeights(),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Each gpu user wants 4 of a leaf's 6: any two on the same leaf would
+	// overcommit it, so the capacity veto forces them apart.
+	first, err := placer.Admit(repro.Instance{
+		ID: "gpu-1", Service: "train", Demands: repro.ResourceVector{"gpu": 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	second, err := placer.Admit(repro.Instance{
+		ID: "gpu-2", Service: "train", Demands: repro.ResourceVector{"gpu": 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("gpu users spread:", first != second)
+
+	// A third gpu user fits nowhere: both leaves hold 4/6, and 8 > 6.
+	_, err = placer.Admit(repro.Instance{
+		ID: "gpu-3", Service: "train", Demands: repro.ResourceVector{"gpu": 4},
+	})
+	fmt.Println("third gpu user rejected:", errors.Is(err, repro.ErrNoCapacity))
+
+	// Power-only instances are untouched by the gpu dimension.
+	_, err = placer.Admit(repro.Instance{ID: "web-1", Service: "web"})
+	fmt.Println("power-only instance admitted:", err == nil)
+
+	// Output:
+	// gpu users spread: true
+	// third gpu user rejected: true
+	// power-only instance admitted: true
+}

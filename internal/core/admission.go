@@ -22,27 +22,85 @@ import (
 // from request goroutines — and both refresh the per-level fragmentation
 // gauges.
 
+// AdmitRequest describes one arriving instance for Admit — the redesigned
+// admission entry point (AdmitInstance remains as a positional shorthand).
+//
+// smoothop:immutable
+type AdmitRequest struct {
+	// ID and Service identify the instance; both are required.
+	ID, Service string
+	// AsOf is the telemetry time the scoring trace is read at; zero means
+	// the latest Bootstrap/Tick time (the stored telemetry's clock, not the
+	// wall clock).
+	AsOf time.Time
+	// TrainWeeks is the averaging window; < 1 means the framework default.
+	TrainWeeks int
+	// Demands optionally declares the instance's non-power resource demand
+	// vector; it is validated, enforced against every capacity dimension the
+	// tree declares, and remembered in the runtime's ledger until the
+	// instance retires.
+	Demands powertree.ResourceVector
+}
+
+// placementCfg assembles the placer options for admission views and
+// tick-time remapping: the configured policy with the runtime's own demand
+// ledger overlaid on the config's resolver (ledger wins). With no ledger
+// entries and no configured resolver the config passes through untouched,
+// keeping every multi-resource path inert.
+//
+// smoothop:locked mu
+func (r *Runtime) placementCfg() placement.PolicyConfig {
+	cfg := r.placeCfg
+	if len(r.demands) == 0 && cfg.Demands == nil {
+		return cfg
+	}
+	ledger := r.demands // allocated once at NewRuntime, mutated under mu
+	fallback := cfg.Demands
+	cfg.Demands = func(id string) (powertree.ResourceVector, bool) {
+		if d, ok := ledger[id]; ok {
+			return d, true
+		}
+		if fallback != nil {
+			return fallback(id)
+		}
+		return nil, false
+	}
+	return cfg
+}
+
 // AdmitInstance places one arriving instance onto the live tree and returns
-// the hosting leaf's name. Its averaged I-trace is read from the store as of
-// asOf over trainWeeks weeks (a zero asOf means the latest Bootstrap/Tick
-// time — the stored telemetry's clock, not the wall clock; trainWeeks < 1
-// means the framework default);
-// an instance below the quarantine floor is admitted on its service's
-// reference trace instead of failing. Admission never displaces residents:
-// if no leaf can take the instance without a breaker violation, the error
-// wraps placement.ErrNoCapacity and the tree is unchanged.
+// the hosting leaf's name — shorthand for Admit with a positional request
+// and no demand vector.
 func (r *Runtime) AdmitInstance(id, service string, asOf time.Time, trainWeeks int) (string, error) {
+	return r.Admit(AdmitRequest{ID: id, Service: service, AsOf: asOf, TrainWeeks: trainWeeks})
+}
+
+// Admit places one arriving instance onto the live tree and returns the
+// hosting leaf's name. The scoring trace is the instance's averaged I-trace
+// as of req.AsOf over req.TrainWeeks weeks; an instance below the
+// quarantine floor is admitted on its service's reference trace instead of
+// failing. Admission never displaces residents: if no leaf can take the
+// instance without a breaker violation — or, when demands and capacities
+// are declared, without overflowing a capacity dimension — the error wraps
+// placement.ErrNoCapacity and the tree is unchanged.
+func (r *Runtime) Admit(req AdmitRequest) (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.placed {
 		return "", ErrNotPlaced
 	}
+	id, service := req.ID, req.Service
 	if id == "" || service == "" {
 		return "", errors.New("core: admission needs an instance id and a service")
 	}
+	if err := req.Demands.Validate(); err != nil {
+		return "", fmt.Errorf("core: admission demands for %q: %w", id, err)
+	}
+	asOf := req.AsOf
 	if asOf.IsZero() {
 		asOf = r.evalAsOf
 	}
+	trainWeeks := req.TrainWeeks
 	if trainWeeks < 1 {
 		trainWeeks = r.fw.cfg.trainWeeks()
 	}
@@ -57,7 +115,7 @@ func (r *Runtime) AdmitInstance(id, service string, asOf time.Time, trainWeeks i
 		return "", err
 	}
 	r.onlineTraces[id] = tr
-	leaf, err := r.online.Admit(placement.Instance{ID: id, Service: service})
+	leaf, err := r.online.Admit(placement.Instance{ID: id, Service: service, Demands: req.Demands})
 	if err != nil {
 		delete(r.onlineTraces, id)
 		if errors.Is(err, placement.ErrNoCapacity) {
@@ -66,6 +124,9 @@ func (r *Runtime) AdmitInstance(id, service string, asOf time.Time, trainWeeks i
 		return "", err
 	}
 	r.services[id] = service
+	if len(req.Demands) > 0 {
+		r.demands[id] = req.Demands.Clone()
+	}
 	if quarantined {
 		r.quarantined = append(r.quarantined, id)
 		obsQuarantined.Set(float64(len(r.quarantined)))
@@ -94,6 +155,7 @@ func (r *Runtime) RetireInstance(id string) (string, error) {
 			return "", err
 		}
 		delete(r.onlineTraces, id)
+		delete(r.demands, id)
 		obsRuntimeRetirements.Inc()
 		r.fragDelta(r.onlineTraces, true, leaf)
 		r.invalidatePlanSnapshot()
@@ -109,6 +171,7 @@ func (r *Runtime) RetireInstance(id string) (string, error) {
 			if !leaf.Detach(id) {
 				return "", fmt.Errorf("core: retire bookkeeping failed for %q", id)
 			}
+			delete(r.demands, id)
 			obsRuntimeRetirements.Inc()
 			r.fragDelta(r.traces, false, leaf)
 			r.invalidatePlanSnapshot()
@@ -153,7 +216,7 @@ func (r *Runtime) ensureOnline(asOf time.Time, trainWeeks int) error {
 		tr, ok := traces[id]
 		return tr, ok
 	})
-	online, err := placement.NewOnline(r.tree, lookup, placement.OnlineAsynchrony{})
+	online, err := placement.NewOnline(r.tree, lookup, r.placementCfg())
 	if err != nil {
 		return fmt.Errorf("core: admission view: %w", err)
 	}
@@ -296,4 +359,27 @@ func (r *Runtime) FragmentationRates() ([]metrics.FragmentationRow, error) {
 		tr, ok := traces[id]
 		return tr, ok
 	})
+}
+
+// MultiFragmentationRates is FragmentationRates extended with per-dimension
+// stranded-capacity rows (metrics.MultiFragmentationRates), resolving
+// instance demands the same way placement does: admission-time demands from
+// the runtime's ledger win, then any resolver configured via
+// RuntimeConfig.Placement.Demands. On a power-only tree — no declared
+// capacities, or no known demands — it returns exactly the power rows.
+func (r *Runtime) MultiFragmentationRates() ([]metrics.FragmentationRow, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.placed {
+		return nil, ErrNotPlaced
+	}
+	traces := r.onlineTraces
+	if traces == nil {
+		traces = r.traces
+	}
+	// The demand closure is only invoked inside this call, under mu.
+	return metrics.MultiFragmentationRates(r.tree, func(id string) (timeseries.Series, bool) {
+		tr, ok := traces[id]
+		return tr, ok
+	}, r.placementCfg().Demands)
 }

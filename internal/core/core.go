@@ -452,6 +452,14 @@ type DriftReport struct {
 // remapping only for perfectly synchronous nodes; the paper leaves the
 // trigger operational — 1.2–1.5 works well in practice).
 func (f *Framework) Adapt(tree *powertree.Node, fresh map[string]timeseries.Series, scoreFloor float64, maxSwaps int) (*DriftReport, error) {
+	return f.AdaptWithPolicy(tree, fresh, scoreFloor, maxSwaps, placement.PolicyConfig{})
+}
+
+// AdaptWithPolicy is Adapt with the redesigned placement policy options
+// threaded through to the remapping step: when policy.Demands is set, swaps
+// additionally respect every capacity dimension the tree declares (see
+// placement.RemapConfig.Policy). The zero PolicyConfig is plain Adapt.
+func (f *Framework) AdaptWithPolicy(tree *powertree.Node, fresh map[string]timeseries.Series, scoreFloor float64, maxSwaps int, policy placement.PolicyConfig) (*DriftReport, error) {
 	traceFn := placement.TraceFn(workload.SubPowerFn(fresh))
 	scores, err := placement.LevelAsynchrony(tree, powertree.RPP, traceFn)
 	if err != nil {
@@ -468,7 +476,7 @@ func (f *Framework) Adapt(tree *powertree.Node, fresh map[string]timeseries.Seri
 		return nil, err
 	}
 	if rep.WorstScore < scoreFloor {
-		rep.Swaps, err = placement.Remap(tree, traceFn, placement.RemapConfig{MaxSwaps: maxSwaps})
+		rep.Swaps, err = placement.Remap(tree, traceFn, placement.RemapConfig{MaxSwaps: maxSwaps, Policy: policy})
 		if err != nil {
 			return nil, err
 		}

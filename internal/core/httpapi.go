@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/plan"
+	"repro/internal/powertree"
 )
 
 // HTTPHandler exposes a runtime's state over HTTP for dashboards and
@@ -30,9 +31,15 @@ import (
 //	                             (powertree.Save format)
 //	GET    /v1/history         — drift reports from every tick
 //	GET    /v1/metrics         — the obs registry in Prometheus text format
+//	GET    /v1/fragmentation   — per-level stranded-headroom rows: power
+//	                             first, then one row per (level, capacity
+//	                             dimension) wherever the tree declares
+//	                             non-power capacities
 //	POST   /v1/instances       — admit one instance via online placement;
 //	                             body {"id","service"} plus optional
-//	                             "as_of" (RFC 3339) and "train_weeks"
+//	                             "as_of" (RFC 3339), "train_weeks", and
+//	                             "demands" (a {dimension: amount} resource
+//	                             vector checked against node capacities)
 //	DELETE /v1/instances/{id}  — retire a placed instance
 //	POST   /v1/plan            — evaluate a what-if query (plan.Query) on a
 //	                             snapshot of the current placement; kinds:
@@ -183,13 +190,34 @@ func HTTPHandlerWithPlanner(rt *Runtime, planner *plan.Service, now func() time.
 		w.Header().Set("Content-Type", obs.ContentType)
 		_ = reg.WriteProm(w)
 	}
+	fragmentation := func(w http.ResponseWriter, r *http.Request) {
+		rows, err := rt.MultiFragmentationRates()
+		if err != nil {
+			api.writeAdmissionError(w, err)
+			return
+		}
+		views := make([]fragRowView, len(rows))
+		for i, row := range rows {
+			views[i] = fragRowView{
+				Level:      row.Level.String(),
+				Dimension:  row.Dimension,
+				Capacity:   row.Capacity,
+				Headroom:   row.Headroom,
+				Admissible: row.Admissible,
+				Stranded:   row.StrandedWatts,
+				RatePct:    row.RatePct,
+			}
+		}
+		api.writeJSON(w, views)
+	}
 
 	admit := func(w http.ResponseWriter, r *http.Request) {
 		var body struct {
-			ID         string `json:"id"`
-			Service    string `json:"service"`
-			AsOf       string `json:"as_of"`
-			TrainWeeks int    `json:"train_weeks"`
+			ID         string                   `json:"id"`
+			Service    string                   `json:"service"`
+			AsOf       string                   `json:"as_of"`
+			TrainWeeks int                      `json:"train_weeks"`
+			Demands    powertree.ResourceVector `json:"demands"`
 		}
 		if !api.decodeBody(w, r, &body) {
 			return
@@ -214,7 +242,13 @@ func HTTPHandlerWithPlanner(rt *Runtime, planner *plan.Service, now func() time.
 			api.writeError(w, http.StatusBadRequest, "bad_request", `"train_weeks" must not be negative`)
 			return
 		}
-		leaf, err := rt.AdmitInstance(body.ID, body.Service, asOf, body.TrainWeeks)
+		leaf, err := rt.Admit(AdmitRequest{
+			ID:         body.ID,
+			Service:    body.Service,
+			AsOf:       asOf,
+			TrainWeeks: body.TrainWeeks,
+			Demands:    body.Demands,
+		})
 		if err != nil {
 			api.writeAdmissionError(w, err)
 			return
@@ -255,6 +289,7 @@ func HTTPHandlerWithPlanner(rt *Runtime, planner *plan.Service, now func() time.
 	mux.HandleFunc("/v1/tree", api.get(treeH))
 	mux.HandleFunc("/v1/history", api.get(history))
 	mux.HandleFunc("/v1/metrics", api.get(metrics))
+	mux.HandleFunc("/v1/fragmentation", api.get(fragmentation))
 	mux.HandleFunc("/v1/instances", api.method(http.MethodPost, admit))
 	mux.HandleFunc("/v1/instances/", api.method(http.MethodDelete, retire))
 	mux.HandleFunc("/v1/plan", api.method(http.MethodPost, planH))
@@ -378,6 +413,9 @@ func (a *httpAPI) writeAdmissionError(w http.ResponseWriter, err error) {
 		a.writeError(w, http.StatusConflict, "no_capacity", err.Error())
 	case errors.Is(err, placement.ErrUnknownInstance):
 		a.writeError(w, http.StatusNotFound, "unknown_instance", err.Error())
+	case errors.Is(err, powertree.ErrBadDimension), errors.Is(err, powertree.ErrReservedPower):
+		// A malformed demand vector is the caller's input, not server state.
+		a.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// A deadline or disconnect is the caller's (or the limiter's) doing,
 		// not a server bug — 503, not the 500 this used to fall through to.
@@ -409,6 +447,19 @@ func (a *httpAPI) writePlanError(w http.ResponseWriter, err error) {
 	default:
 		a.writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}
+}
+
+// fragRowView is the wire form of one stranded-headroom row: one (level,
+// dimension) pair, units following the dimension (watts for "power", the
+// declared unit otherwise).
+type fragRowView struct {
+	Level      string  `json:"level"`
+	Dimension  string  `json:"dimension"`
+	Capacity   float64 `json:"capacity"`
+	Headroom   float64 `json:"headroom"`
+	Admissible float64 `json:"admissible"`
+	Stranded   float64 `json:"stranded"`
+	RatePct    float64 `json:"rate_pct"`
 }
 
 // instanceView is the wire form of an admission or retirement outcome.

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestHTTPV1Contract sweeps every /v1 route against the API-wide contract:
+// a disallowed method is 405 with an Allow header and the uniform error
+// envelope, and every mutating route enforces the body cap (413) and strict
+// decoding (unknown fields and trailing data are 400). Route-specific
+// behaviour lives in the per-route tests; this table is the one place that
+// guarantees no route drifts from the shared conventions.
+func TestHTTPV1Contract(t *testing.T) {
+	srv, _, _, _ := instancesFixture(t)
+	client := srv.Client()
+
+	routes := []struct {
+		path     string
+		allow    string // the Allow header a 405 must carry
+		mutating bool   // consumes a JSON body (cap + strict decode apply)
+	}{
+		{"/v1/health", http.MethodGet, false},
+		{"/v1/status", http.MethodGet, false},
+		{"/v1/tree", http.MethodGet, false},
+		{"/v1/history", http.MethodGet, false},
+		{"/v1/metrics", http.MethodGet, false},
+		{"/v1/fragmentation", http.MethodGet, false},
+		{"/v1/instances", http.MethodPost, true},
+		{"/v1/instances/some-id", http.MethodDelete, false},
+		{"/v1/plan", http.MethodPost, true},
+	}
+
+	// wrongMethod returns a method the route does not allow.
+	wrongMethod := func(allow string) string {
+		if allow == http.MethodGet {
+			return http.MethodPost
+		}
+		return http.MethodGet
+	}
+
+	for _, rt := range routes {
+		t.Run(rt.path, func(t *testing.T) {
+			method := wrongMethod(rt.allow)
+			req, err := http.NewRequest(method, srv.URL+rt.path, strings.NewReader("{}"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s = %d, want 405", method, rt.path, resp.StatusCode)
+			}
+			if got := resp.Header.Get("Allow"); got != rt.allow {
+				t.Fatalf("%s: Allow = %q, want %q", rt.path, got, rt.allow)
+			}
+			if code, _ := decodeEnvelope(t, resp); code != "method_not_allowed" {
+				t.Fatalf("%s: code = %q, want method_not_allowed", rt.path, code)
+			}
+
+			if !rt.mutating {
+				return
+			}
+
+			// Body cap: a syntactically valid body that runs past
+			// maxRequestBody is 413 (a malformed one would fail the JSON
+			// decode first and report 400).
+			huge := `{"id":"` + strings.Repeat("x", maxRequestBody) + `"}`
+			resp = postJSON(t, client, srv.URL+rt.path, huge)
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("%s oversized body = %d, want 413", rt.path, resp.StatusCode)
+			}
+			if code, _ := decodeEnvelope(t, resp); code != "request_too_large" {
+				t.Fatalf("%s oversized body code = %q, want request_too_large", rt.path, code)
+			}
+
+			// Strict decoding: unknown fields are rejected...
+			resp = postJSON(t, client, srv.URL+rt.path, `{"no_such_field":1}`)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s unknown field = %d, want 400", rt.path, resp.StatusCode)
+			}
+			if code, msg := decodeEnvelope(t, resp); code != "bad_request" {
+				t.Fatalf("%s unknown field = %q (%q), want bad_request", rt.path, code, msg)
+			}
+
+			// ...and so is trailing data after the first JSON value.
+			resp = postJSON(t, client, srv.URL+rt.path, `{} trailing`)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s trailing data = %d, want 400", rt.path, resp.StatusCode)
+			}
+			if code, msg := decodeEnvelope(t, resp); code != "bad_request" {
+				t.Fatalf("%s trailing data = %q (%q), want bad_request", rt.path, code, msg)
+			}
+		})
+	}
+}

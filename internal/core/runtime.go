@@ -49,6 +49,10 @@ type Runtime struct {
 
 	// faults, when set, perturbs every reading on its way into the store.
 	faults *faults.Injector
+	// placeCfg carries the configured placement policy options; the runtime
+	// overlays its own demand ledger on the config's resolver when building
+	// admission views (see placementCfg). Never modified after construction.
+	placeCfg placement.PolicyConfig
 	// capper is the emergency throttle runtime; created at Bootstrap when
 	// fault injection is configured.
 	capper *capping.Controller
@@ -65,6 +69,12 @@ type Runtime struct {
 	// services maps instance → service, learned at Bootstrap; it names the
 	// reference-trace pool a quarantined instance falls back to.
 	services map[string]string //smoothop:guardedby mu
+	// demands is the runtime's resource-demand ledger: the validated demand
+	// vector of every placed instance that declared one (at Bootstrap or
+	// admission). It outlives the cached admission view, so rebuilt views
+	// re-learn demands through placementCfg's resolver. The map is allocated
+	// once and mutated in place — placementCfg's closure captures it.
+	demands map[string]powertree.ResourceVector //smoothop:guardedby mu
 	// quality and quarantined reflect the most recent Bootstrap or Tick.
 	quality     map[string]tracestore.Quality //smoothop:guardedby mu
 	quarantined []string                      //smoothop:guardedby mu
@@ -135,6 +145,14 @@ type RuntimeConfig struct {
 	// into the runtime: readings pass through the injector on Ingest, and
 	// its trip windows drive the emergency capping path at Tick.
 	Faults *faults.Injector
+	// Placement carries the redesigned placement policy options (kind, seed,
+	// FARB weights, demand resolver) used for admission views and tick-time
+	// remapping. The zero value is the paper's asynchrony policy with no
+	// demand model — bit-identical to the power-only runtime. Demands
+	// supplied at admission time take precedence over the configured
+	// resolver. Unknown kinds and invalid weights are rejected at NewRuntime
+	// with placement.ErrUnknownPolicyKind / score.ErrBadWeights.
+	Placement placement.PolicyConfig
 }
 
 // Errors returned by the runtime.
@@ -172,6 +190,9 @@ func NewRuntime(fw *Framework, store *tracestore.Store, tree *powertree.Node, cf
 	if cfg.RetryBackoff < 0 {
 		return nil, fmt.Errorf("%w: RetryBackoff %v", ErrBadRetries, cfg.RetryBackoff)
 	}
+	if _, err := placement.NewPolicy(cfg.Placement); err != nil {
+		return nil, fmt.Errorf("core: placement policy: %w", err)
+	}
 	floor := cfg.ScoreFloor
 	if floor == 0 {
 		floor = 1.2
@@ -193,8 +214,10 @@ func NewRuntime(fw *Framework, store *tracestore.Store, tree *powertree.Node, cf
 		scoreFloor: floor, maxSwaps: swaps,
 		minCoverage: minCov, retries: retries, backoff: cfg.RetryBackoff,
 		faults:    cfg.Faults,
+		placeCfg:  cfg.Placement,
 		sleep:     time.Sleep,
 		services:  make(map[string]string),
+		demands:   make(map[string]powertree.ResourceVector),
 		quality:   make(map[string]tracestore.Quality),
 		emergency: make(map[string]bool),
 	}, nil
@@ -324,6 +347,14 @@ func (r *Runtime) Bootstrap(instances []placement.Instance, asOf time.Time, trai
 	}
 	for _, inst := range instances {
 		r.services[inst.ID] = inst.Service
+		// Demands enter the runtime's ledger here; the batch placer itself is
+		// power-only, so capacity dimensions bind at admission and remap time.
+		if len(inst.Demands) > 0 {
+			if err := inst.Demands.Validate(); err != nil {
+				return fmt.Errorf("core: bootstrap demands for %q: %w", inst.ID, err)
+			}
+			r.demands[inst.ID] = inst.Demands.Clone()
+		}
 	}
 	avg := make(map[string]timeseries.Series, len(instances))
 	quality := make(map[string]tracestore.Quality, len(instances))
@@ -496,7 +527,7 @@ func (r *Runtime) Tick(asOf time.Time, window time.Duration) (*DriftReport, erro
 	if err := r.fillReferences(fresh, quarantined, byService, healthy); err != nil {
 		return nil, fmt.Errorf("core: tick: %w", err)
 	}
-	rep, err := r.fw.Adapt(r.tree, fresh, r.scoreFloor, r.maxSwaps)
+	rep, err := r.fw.AdaptWithPolicy(r.tree, fresh, r.scoreFloor, r.maxSwaps, r.placementCfg())
 	if err != nil {
 		return nil, err
 	}

@@ -48,18 +48,14 @@ type FragRow struct {
 	SBFragPct float64
 }
 
-// fragPolicy instantiates a named online policy. Random policies carry a
-// decision stream, so every sweep pass gets a fresh value.
-func fragPolicy(name string, seed int64) (placement.OnlinePolicy, error) {
-	switch name {
-	case "random":
-		return placement.NewOnlineRandom(seed), nil
-	case "best-fit":
-		return placement.OnlineBestFit{}, nil
-	case "asynchrony":
-		return placement.OnlineAsynchrony{}, nil
+// fragPolicy maps a named online policy onto the redesigned PolicyConfig;
+// the placer instantiates a fresh policy (and decision stream) per pass.
+func fragPolicy(name string, seed int64) (placement.PolicyConfig, error) {
+	switch placement.PolicyKind(name) {
+	case placement.PolicyRandom, placement.PolicyBestFit, placement.PolicyAsynchrony, placement.PolicyFARB:
+		return placement.PolicyConfig{Kind: placement.PolicyKind(name), Seed: seed}, nil
 	}
-	return nil, fmt.Errorf("experiments: unknown online policy %q", name)
+	return placement.PolicyConfig{}, fmt.Errorf("experiments: unknown online policy %q", name)
 }
 
 // tightenBudgets rewrites the tree's breaker budgets so each leaf holds an

@@ -29,10 +29,17 @@ import (
 // the level's total budget, so 0 means every advertised watt of headroom is
 // reachable and 1 means the level's whole capacity is stranded.
 
-// FragmentationRow is one level's share of a fragmentation report.
+// FragmentationRow is one level's share of a fragmentation report, for one
+// resource dimension.
 type FragmentationRow struct {
 	// Level is the tier the row describes.
 	Level powertree.Level
+	// Dimension names the resource the row measures:
+	// powertree.PowerDimension for the canonical power rows, a capacity
+	// dimension name for rows from MultiFragmentationRates. Units follow the
+	// dimension (watts for power, the declared unit otherwise) — the
+	// StrandedWatts field name keeps its historical power spelling.
+	Dimension string
 	// Capacity is Σ budget over the level's nodes.
 	Capacity float64
 	// Headroom is Σ max(0, budget − peak): the watts the level advertises
@@ -93,6 +100,7 @@ func FragmentationRatesFrom(tree *powertree.Node, aggs *powertree.Aggregates) ([
 		}
 		var row FragmentationRow
 		row.Level = level
+		row.Dimension = powertree.PowerDimension
 		for _, n := range nodes {
 			head := n.Budget - aggs.Peak(n)
 			if head < 0 {

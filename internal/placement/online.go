@@ -42,6 +42,11 @@ type OnlineCandidate struct {
 	PostPeak float64
 	// Headroom is Leaf.Budget − PostPeak (≥ 0 for a feasible candidate).
 	Headroom float64
+	// Residuals are the leaf's post-admission residual fractions
+	// (free/capacity ∈ [0, 1]): power first, then the leaf's declared
+	// capacity dimensions in Dimensions() (sorted) order. A power-only leaf
+	// has exactly one entry.
+	Residuals []float64
 }
 
 // OnlinePolicy picks which feasible leaf hosts an arriving instance.
@@ -73,13 +78,20 @@ type OnlinePlacer interface {
 // retirement rebuilds only that same path. No full-tree re-aggregation ever
 // happens after construction.
 type Online struct {
-	tree   *powertree.Node
-	traces TraceFn
-	policy OnlinePolicy
+	tree    *powertree.Node
+	traces  TraceFn
+	policy  OnlinePolicy
+	demands DemandFn
 
 	// agg is every node's aggregate power trace (Empty when the subtree
 	// hosts no instances).
 	agg map[*powertree.Node]timeseries.Series
+	// demandOf records each known instance's resolved demand vector (absent
+	// = power-only); used accumulates the demands of each node's subtree
+	// residents — the capacity-dimension analogue of agg. Both stay empty on
+	// power-only trees, keeping that path allocation-identical to before.
+	demandOf map[string]powertree.ResourceVector
+	used     map[*powertree.Node]powertree.ResourceVector
 	// residents holds per-leaf traces parallel to leaf.Instances;
 	// residentIDs holds the matching instance IDs — the placer's own record
 	// of who it thinks lives on each leaf, which Resync diffs against the
@@ -93,8 +105,28 @@ type Online struct {
 }
 
 // NewOnline wraps a live (possibly already populated) tree for online
-// placement. Every resident instance's trace must resolve through traces.
-func NewOnline(tree *powertree.Node, traces TraceFn, policy OnlinePolicy) (*Online, error) {
+// placement with the policy cfg describes. Every resident instance's trace
+// must resolve through traces; when cfg.Demands is set, residents' demand
+// vectors resolve through it too and capacity dimensions are enforced on
+// every admission. The zero PolicyConfig reproduces the power-only
+// asynchrony placer decision-for-decision.
+func NewOnline(tree *powertree.Node, traces TraceFn, cfg PolicyConfig) (*Online, error) {
+	policy, err := NewPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newOnline(tree, traces, policy, cfg.Demands)
+}
+
+// NewOnlineWithPolicy wraps a live tree using a caller-implemented Policy
+// value directly. Prefer NewOnline with PolicyConfig{Custom: policy,
+// Demands: fn}, which can also install a demand resolver; this constructor
+// installs none.
+func NewOnlineWithPolicy(tree *powertree.Node, traces TraceFn, policy Policy) (*Online, error) {
+	return newOnline(tree, traces, policy, nil)
+}
+
+func newOnline(tree *powertree.Node, traces TraceFn, policy Policy, demands DemandFn) (*Online, error) {
 	if policy == nil {
 		return nil, ErrNilPolicy
 	}
@@ -106,7 +138,10 @@ func NewOnline(tree *powertree.Node, traces TraceFn, policy OnlinePolicy) (*Onli
 		tree:        tree,
 		traces:      traces,
 		policy:      policy,
+		demands:     demands,
 		agg:         make(map[*powertree.Node]timeseries.Series),
+		demandOf:    make(map[string]powertree.ResourceVector),
+		used:        make(map[*powertree.Node]powertree.ResourceVector),
 		residents:   make(map[*powertree.Node][]timeseries.Series, len(leaves)),
 		residentIDs: make(map[*powertree.Node][]string, len(leaves)),
 		leafOf:      make(map[string]*powertree.Node),
@@ -139,6 +174,39 @@ func (o *Online) Leaf(id string) (*powertree.Node, bool) {
 	return leaf, ok
 }
 
+// Used returns the node's accumulated capacity-dimension demand — the
+// per-dimension sum over the subtree's residents (nil when nothing in the
+// subtree demands anything beyond power). The vector is owned by the placer
+// and must not be mutated.
+func (o *Online) Used(n *powertree.Node) powertree.ResourceVector { return o.used[n] }
+
+// Demand reports the demand vector on record for an admitted (or
+// pre-existing) instance; ok is false for unknown or power-only instances.
+// The vector is owned by the placer and must not be mutated.
+func (o *Online) Demand(id string) (powertree.ResourceVector, bool) {
+	d, ok := o.demandOf[id]
+	return d, ok
+}
+
+// resolveDemand resolves an instance's demand vector — the inline vector
+// from the Instance itself wins, then the placer's DemandFn — validating
+// and defensively cloning it. Nil means power-only.
+func (o *Online) resolveDemand(id string, inline powertree.ResourceVector) (powertree.ResourceVector, error) {
+	d := inline
+	if d == nil && o.demands != nil {
+		if v, ok := o.demands(id); ok {
+			d = v
+		}
+	}
+	if len(d) == 0 {
+		return nil, nil
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("placement: demand for instance %q: %w", id, err)
+	}
+	return d.Clone(), nil
+}
+
 // snapshotLeaf (re)builds one leaf's resident trace and ID records from the
 // tree's current leaf.Instances, re-pointing leafOf at this leaf for each.
 func (o *Online) snapshotLeaf(leaf *powertree.Node) error {
@@ -152,6 +220,17 @@ func (o *Online) snapshotLeaf(leaf *powertree.Node) error {
 		trs = append(trs, tr)
 		ids = append(ids, id)
 		o.leafOf[id] = leaf
+		// Demands recorded at admission (possibly inline on the Instance)
+		// survive resyncs; only unseen residents consult the DemandFn.
+		if _, ok := o.demandOf[id]; !ok {
+			d, err := o.resolveDemand(id, nil)
+			if err != nil {
+				return err
+			}
+			if d != nil {
+				o.demandOf[id] = d
+			}
+		}
 	}
 	o.residents[leaf] = trs
 	o.residentIDs[leaf] = ids
@@ -225,9 +304,25 @@ func (o *Online) rebuildAll() error {
 	return build(o.tree)
 }
 
-// rebuildNode recomputes one node's aggregate from its own residents (leaf)
-// or its children's aggregates (interior), which must already be current.
+// rebuildNode recomputes one node's aggregate trace and used-capacity
+// vector from its own residents (leaf) or its children's (interior), which
+// must already be current.
 func (o *Online) rebuildNode(n *powertree.Node) error {
+	var used powertree.ResourceVector
+	if n.IsLeaf() {
+		for _, id := range o.residentIDs[n] {
+			used = used.AddInPlace(o.demandOf[id])
+		}
+	} else {
+		for _, c := range n.Children {
+			used = used.AddInPlace(o.used[c])
+		}
+	}
+	if used == nil {
+		delete(o.used, n)
+	} else {
+		o.used[n] = used
+	}
 	var agg timeseries.Series
 	started := false
 	fold := func(tr timeseries.Series) error {
@@ -276,11 +371,56 @@ func peakWith(agg, tr timeseries.Series) (float64, error) {
 	return peak, nil
 }
 
-// feasibleLeaves collects the leaves that can admit tr without a breaker
-// violation anywhere on their root path, pruning whole subtrees at the
-// first interior node that cannot absorb the instance. Candidates come
-// back in tree (leaf) order.
-func (o *Online) feasibleLeaves(tr timeseries.Series) ([]OnlineCandidate, error) {
+// fitsCapacities reports whether admitting demand keeps every capacity
+// dimension the node declares within bounds. Dimensions the node does not
+// declare are unconstrained there (partial declarations are allowed), and a
+// nil demand always fits.
+func (o *Online) fitsCapacities(n *powertree.Node, demand powertree.ResourceVector) bool {
+	if len(demand) == 0 || len(n.Capacities) == 0 {
+		return true
+	}
+	used := o.used[n]
+	for _, dim := range demand.Dimensions() {
+		limit, ok := n.Capacities[dim]
+		if ok && used.Get(dim)+demand[dim] > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// residualFractions builds a candidate leaf's post-admission residual
+// vector: power headroom fraction first, then free/capacity for each
+// declared capacity dimension in sorted order. Zero-capacity dimensions
+// read as residual 0 (saturated).
+func (o *Online) residualFractions(leaf *powertree.Node, headroom float64, demand powertree.ResourceVector) []float64 {
+	res := make([]float64, 1, 1+len(leaf.Capacities))
+	res[0] = headroom / leaf.Budget
+	if len(leaf.Capacities) == 0 {
+		return res
+	}
+	used := o.used[leaf]
+	for _, dim := range leaf.Capacities.Dimensions() {
+		limit := leaf.Capacities[dim]
+		frac := 0.0
+		if limit > 0 {
+			free := limit - used.Get(dim) - demand.Get(dim)
+			if free < 0 {
+				free = 0 // float residue; fitsCapacities already gated
+			}
+			frac = free / limit
+		}
+		res = append(res, frac)
+	}
+	return res
+}
+
+// feasibleLeaves collects the leaves that can admit tr (and the instance's
+// demand vector, if any) without a breaker violation or capacity overflow
+// anywhere on their root path, pruning whole subtrees at the first interior
+// node that cannot absorb the instance. Candidates come back in tree (leaf)
+// order.
+func (o *Online) feasibleLeaves(tr timeseries.Series, demand powertree.ResourceVector) ([]OnlineCandidate, error) {
 	var cands []OnlineCandidate
 	var walk func(n *powertree.Node) error
 	walk = func(n *powertree.Node) error {
@@ -291,12 +431,16 @@ func (o *Online) feasibleLeaves(tr timeseries.Series) ([]OnlineCandidate, error)
 		if post > n.Budget {
 			return nil // this node's breaker would trip; nothing below fits
 		}
+		if !o.fitsCapacities(n, demand) {
+			return nil // a declared capacity dimension would overflow
+		}
 		if n.IsLeaf() {
 			cands = append(cands, OnlineCandidate{
 				Leaf:      n,
 				Residents: o.residents[n],
 				PostPeak:  post,
 				Headroom:  n.Budget - post,
+				Residuals: o.residualFractions(n, n.Budget-post, demand),
 			})
 			return nil
 		}
@@ -324,7 +468,11 @@ func (o *Online) Admit(inst Instance) (*powertree.Node, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w for instance %q", ErrMissingTrace, inst.ID)
 	}
-	cands, err := o.feasibleLeaves(tr)
+	demand, err := o.resolveDemand(inst.ID, inst.Demands)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := o.feasibleLeaves(tr, demand)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +494,8 @@ func (o *Online) Admit(inst Instance) (*powertree.Node, error) {
 	o.residents[leaf] = append(o.residents[leaf], tr)
 	o.residentIDs[leaf] = append(o.residentIDs[leaf], inst.ID)
 	o.leafOf[inst.ID] = leaf
-	// Fold the new trace into the aggregates along the leaf's root path.
+	// Fold the new trace (and demand) into the aggregates along the leaf's
+	// root path.
 	for n := leaf; n != nil; n = n.Parent() {
 		agg := o.agg[n]
 		if agg.Empty() {
@@ -357,6 +506,12 @@ func (o *Online) Admit(inst Instance) (*powertree.Node, error) {
 			return nil, fmt.Errorf("placement: updating aggregate at %q: %w", n.Name, err)
 		}
 		o.agg[n] = agg
+	}
+	if demand != nil {
+		o.demandOf[inst.ID] = demand
+		for n := leaf; n != nil; n = n.Parent() {
+			o.used[n] = o.used[n].AddInPlace(demand)
+		}
 	}
 	obsAdmissions.Inc()
 	return leaf, nil
@@ -384,6 +539,7 @@ func (o *Online) Retire(id string) (*powertree.Node, error) {
 	ids := o.residentIDs[leaf]
 	o.residentIDs[leaf] = append(ids[:idx:idx], ids[idx+1:]...)
 	delete(o.leafOf, id)
+	delete(o.demandOf, id)
 	for n := leaf; n != nil; n = n.Parent() {
 		if err := o.rebuildNode(n); err != nil {
 			return nil, err
@@ -403,9 +559,24 @@ type OnlineRandom struct {
 }
 
 // NewOnlineRandom returns a random policy with a fixed decision stream.
+//
+// Deprecated: use NewPolicy(PolicyConfig{Kind: PolicyRandom, Seed: seed}),
+// or pass that PolicyConfig to NewOnline directly.
 func NewOnlineRandom(seed int64) *OnlineRandom {
 	return &OnlineRandom{rng: newRand(seed)}
 }
+
+// NewOnlineBestFit returns the best-fit policy.
+//
+// Deprecated: use NewPolicy(PolicyConfig{Kind: PolicyBestFit}), or pass
+// that PolicyConfig to NewOnline directly.
+func NewOnlineBestFit() OnlineBestFit { return OnlineBestFit{} }
+
+// NewOnlineAsynchrony returns the workload-aware asynchrony policy.
+//
+// Deprecated: use NewPolicy(PolicyConfig{}) — asynchrony is the default
+// kind — or pass the PolicyConfig to NewOnline directly.
+func NewOnlineAsynchrony() OnlineAsynchrony { return OnlineAsynchrony{} }
 
 // Name implements OnlinePolicy.
 func (p *OnlineRandom) Name() string { return "random" }

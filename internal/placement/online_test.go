@@ -21,7 +21,7 @@ func TestOnlineAdmitsWholeFleet(t *testing.T) {
 	for _, policy := range onlinePolicies() {
 		t.Run(policy.Name(), func(t *testing.T) {
 			instances, traces, tree := testFixture(t)
-			o, err := NewOnline(tree, traces, policy)
+			o, err := NewOnlineWithPolicy(tree, traces, policy)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -67,7 +67,7 @@ func TestOnlineStartsFromPopulatedTree(t *testing.T) {
 	if err := (Random{Seed: 3}).Place(tree, instances[:half], traces); err != nil {
 		t.Fatal(err)
 	}
-	o, err := NewOnline(tree, traces, OnlineAsynchrony{})
+	o, err := NewOnline(tree, traces, PolicyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestOnlineRejectsWhenFull(t *testing.T) {
 	instances, traces, tree := testFixture(t)
 	// Budgets far below one instance's peak: nothing fits anywhere.
 	tree.Walk(func(n *powertree.Node) { n.Budget = 1 })
-	o, err := NewOnline(tree, traces, OnlineBestFit{})
+	o, err := NewOnline(tree, traces, PolicyConfig{Kind: PolicyBestFit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestOnlineRejectsWhenFull(t *testing.T) {
 
 func TestOnlineRetireAndReadmit(t *testing.T) {
 	instances, traces, tree := testFixture(t)
-	o, err := NewOnline(tree, traces, OnlineAsynchrony{})
+	o, err := NewOnline(tree, traces, PolicyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestOnlineRetireAndReadmit(t *testing.T) {
 
 func TestOnlineRejectsDoubleAdmit(t *testing.T) {
 	instances, traces, tree := testFixture(t)
-	o, err := NewOnline(tree, traces, OnlineBestFit{})
+	o, err := NewOnline(tree, traces, PolicyConfig{Kind: PolicyBestFit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestOnlineRejectsDoubleAdmit(t *testing.T) {
 
 func TestOnlineMissingTrace(t *testing.T) {
 	instances, traces, tree := testFixture(t)
-	o, err := NewOnline(tree, traces, OnlineBestFit{})
+	o, err := NewOnline(tree, traces, PolicyConfig{Kind: PolicyBestFit})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestOnlineDeterministicReplay(t *testing.T) {
 	} {
 		run := func() map[string]string {
 			instances, traces, tree := testFixture(t)
-			o, err := NewOnline(tree, traces, mk())
+			o, err := NewOnlineWithPolicy(tree, traces, mk())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -228,7 +228,7 @@ func TestOnlineAsynchronySpreadsSynchronousPairs(t *testing.T) {
 		tr, ok := traces[id]
 		return tr, ok
 	})
-	o, err := NewOnline(tree, lookup, OnlineAsynchrony{})
+	o, err := NewOnline(tree, lookup, PolicyConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestOnlineResync(t *testing.T) {
 	if err := (Random{Seed: 5}).Place(tree, instances, traces); err != nil {
 		t.Fatal(err)
 	}
-	o, err := NewOnline(tree, traces, OnlineBestFit{})
+	o, err := NewOnline(tree, traces, PolicyConfig{Kind: PolicyBestFit})
 	if err != nil {
 		t.Fatal(err)
 	}

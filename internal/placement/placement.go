@@ -33,6 +33,10 @@ type Instance struct {
 	// Service is the owning service, used for service-grouped baselines and
 	// per-subtree S-trace extraction.
 	Service string
+	// Demands optionally declares the instance's non-power resource demand
+	// vector. It takes precedence over the placer's DemandFn for this
+	// instance; nil means power-only (or "ask the DemandFn").
+	Demands powertree.ResourceVector
 }
 
 // TraceFn resolves an instance ID to its averaged I-trace. Like

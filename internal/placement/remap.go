@@ -37,6 +37,13 @@ type RemapConfig struct {
 	// starting from the best-scoring nodes; 0 means all. Negative is
 	// rejected with ErrBadCandidateNodes.
 	CandidateNodes int
+	// Policy carries the redesigned policy/capacity options. Remap keeps the
+	// paper's differential-asynchrony objective (§3.6) regardless of Kind;
+	// what it consumes is the demand model: when Policy.Demands is set, a
+	// swap is accepted only if both affected subtrees stay within every
+	// capacity dimension they declare after the exchange. The zero value
+	// (no demand resolver) is bit-identical to the power-only path.
+	Policy PolicyConfig
 }
 
 // Errors returned for invalid remap configurations, following the
@@ -75,6 +82,10 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 		obsRemaps.Inc()
 		timer.End()
 		return nil, nil
+	}
+	capGuard, err := newRemapCapacity(tree, cfg.Policy.Demands)
+	if err != nil {
+		return nil, err
 	}
 
 	// Per-node cache of instance IDs, resolved traces and asynchrony score.
@@ -195,6 +206,11 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 			order = order[:cfg.CandidateNodes]
 		}
 
+		victimDemand, err := capGuard.demandFor(wIDs[victim])
+		if err != nil {
+			return nil, err
+		}
+
 		found := false
 		for _, cand := range order {
 			partner := nodes[cand.idx]
@@ -217,6 +233,13 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 				newA := diff(pTraces[j], victimPeers)
 				newB := diff(wTraces[victim], pPeers)
 				if newA > curA && newB > curB {
+					partnerDemand, err := capGuard.demandFor(pIDs[j])
+					if err != nil {
+						return nil, err
+					}
+					if !capGuard.swapFits(worst, partner, victimDemand, partnerDemand) {
+						continue // score improves but a capacity dimension would overflow
+					}
 					// Accept: "swap it ... if and only if that swap makes the
 					// differential asynchrony scores higher at both of the
 					// two power nodes involved."
@@ -234,6 +257,7 @@ func Remap(tree *powertree.Node, traces TraceFn, cfg RemapConfig) ([]Swap, error
 						NodeA: worst.Name, NodeB: partner.Name,
 						GainA: newA - curA, GainB: newB - curB,
 					})
+					capGuard.apply(worst, partner, victimDemand, partnerDemand)
 					// Only the two nodes touched by the swap changed;
 					// every other cached trace set and score stays valid.
 					cache[worstIdx], cache[cand.idx] = nil, nil

@@ -121,23 +121,18 @@ func (q Query) validate() error {
 		return fmt.Errorf("%w: unknown kind %q", ErrBadQuery, q.Kind)
 	}
 	switch q.Policy {
-	case "", "asynchrony", "best-fit", "random":
+	case "", "asynchrony", "best-fit", "random", "farb":
 	default:
 		return fmt.Errorf("%w: unknown policy %q", ErrBadQuery, q.Policy)
 	}
 	return nil
 }
 
-// policy builds the online placement policy a query asked for.
-func (q Query) policy() placement.OnlinePolicy {
-	switch q.Policy {
-	case "best-fit":
-		return placement.OnlineBestFit{}
-	case "random":
-		return placement.NewOnlineRandom(q.Seed)
-	default:
-		return placement.OnlineAsynchrony{}
-	}
+// policy builds the placement policy options a query asked for. The query's
+// policy names map 1:1 onto placement.PolicyKind values; an empty policy is
+// the asynchrony default.
+func (q Query) policy() placement.PolicyConfig {
+	return placement.PolicyConfig{Kind: placement.PolicyKind(q.Policy), Seed: q.Seed}
 }
 
 // policyName is the name reported in results (the default made explicit).

@@ -8,15 +8,22 @@ import (
 
 // jsonNode is the wire form of a Node.
 type jsonNode struct {
-	Name      string      `json:"name"`
-	Level     int         `json:"level"`
-	Budget    float64     `json:"budget"`
-	Instances []string    `json:"instances,omitempty"`
-	Children  []*jsonNode `json:"children,omitempty"`
+	Name   string  `json:"name"`
+	Level  int     `json:"level"`
+	Budget float64 `json:"budget"`
+	// Capacities carries the optional non-power resource dimensions; it is
+	// omitted when empty, so single-resource trees serialize byte-identically
+	// to the pre-multi-resource format.
+	Capacities map[string]float64 `json:"capacities,omitempty"`
+	Instances  []string           `json:"instances,omitempty"`
+	Children   []*jsonNode        `json:"children,omitempty"`
 }
 
 func toJSON(n *Node) *jsonNode {
 	jn := &jsonNode{Name: n.Name, Level: int(n.Level), Budget: n.Budget}
+	if len(n.Capacities) > 0 {
+		jn.Capacities = n.Capacities.Clone()
+	}
 	if len(n.Instances) > 0 {
 		jn.Instances = append([]string(nil), n.Instances...)
 	}
@@ -32,6 +39,9 @@ func fromJSON(jn *jsonNode, parent *Node) *Node {
 		Level:  Level(jn.Level),
 		Budget: jn.Budget,
 		parent: parent,
+	}
+	if len(jn.Capacities) > 0 {
+		n.Capacities = ResourceVector(jn.Capacities).Clone()
 	}
 	if len(jn.Instances) > 0 {
 		n.Instances = append([]string(nil), jn.Instances...)

@@ -71,6 +71,12 @@ type Node struct {
 	Level Level
 	// Budget is the node's power budget in the same unit as the traces.
 	Budget float64
+	// Capacities optionally declares non-power resource dimensions the node
+	// offers (thermal watts, network bandwidth, rack slots, ...). Power stays
+	// the canonical dimension carried by Budget; a nil vector means the node
+	// declares no extra dimensions and every multi-resource code path is
+	// inert. See ResourceVector.
+	Capacities ResourceVector
 	// Children are the supplied lower-level nodes (empty at leaves).
 	Children []*Node
 	// Instances holds the IDs of service instances attached to this leaf.
@@ -191,7 +197,7 @@ func (n *Node) ClearInstances() {
 // Clone returns a deep copy of the subtree rooted at n, including instance
 // placements. The clone's root has a nil parent.
 func (n *Node) Clone() *Node {
-	c := &Node{Name: n.Name, Level: n.Level, Budget: n.Budget}
+	c := &Node{Name: n.Name, Level: n.Level, Budget: n.Budget, Capacities: n.Capacities.Clone()}
 	if n.Instances != nil {
 		c.Instances = append([]string(nil), n.Instances...)
 	}
@@ -207,8 +213,13 @@ func (n *Node) Clone() *Node {
 // not exceeding the parent's (the paper's "approximately the sum" means a
 // parent never offers less than each child individually needs; we enforce
 // budget(parent) ≥ max child budget and warn-level-check the sum via
-// BudgetSlack), instances only at leaves, unique names, correct levels.
+// BudgetSlack), instances only at leaves, unique names, correct levels, and
+// well-formed capacity vectors (non-negative, "power" reserved, child ≤
+// parent wherever both declare a dimension).
 func (n *Node) Validate() error {
+	if err := validateCapacities(n); err != nil {
+		return err
+	}
 	names := make(map[string]bool)
 	var walk func(m *Node) error
 	walk = func(m *Node) error {
@@ -271,6 +282,11 @@ type TopologySpec struct {
 	SuitesPerDC, MSBsPerSuite, SBsPerMSB, RPPsPerSB int
 	// LeafBudget is the power budget of each RPP.
 	LeafBudget float64
+	// LeafCapacities optionally gives every RPP the same non-power capacity
+	// vector; interior capacities are derived bottom-up as the per-dimension
+	// sum of the children (no margin — non-power capacities are hard limits).
+	// Nil builds the classic single-resource tree.
+	LeafCapacities ResourceVector
 	// BudgetMargin inflates interior budgets above the exact sum of their
 	// children, modelling the paper's "approximately the sum". 0 means exact.
 	BudgetMargin float64
@@ -290,6 +306,9 @@ func Build(spec TopologySpec) (*Node, error) {
 	if spec.LeafBudget <= 0 {
 		return nil, ErrBadBudget
 	}
+	if err := spec.LeafCapacities.Validate(); err != nil {
+		return nil, err
+	}
 	if spec.Name == "" {
 		spec.Name = "dc"
 	}
@@ -306,13 +325,14 @@ func Build(spec TopologySpec) (*Node, error) {
 				sb := &Node{Name: fmt.Sprintf("%s/b%d", msb.Name, b), Level: SB, parent: msb}
 				msb.Children = append(msb.Children, sb)
 				for r := 0; r < spec.RPPsPerSB; r++ {
-					rpp := &Node{Name: fmt.Sprintf("%s/r%d", sb.Name, r), Level: RPP, Budget: spec.LeafBudget, parent: sb}
+					rpp := &Node{Name: fmt.Sprintf("%s/r%d", sb.Name, r), Level: RPP, Budget: spec.LeafBudget, Capacities: spec.LeafCapacities.Clone(), parent: sb}
 					sb.Children = append(sb.Children, rpp)
 				}
 			}
 		}
 	}
-	// Derive interior budgets bottom-up.
+	// Derive interior budgets (and, when leaves declare them, capacity
+	// vectors) bottom-up.
 	var derive func(n *Node) float64
 	derive = func(n *Node) float64 {
 		if n.IsLeaf() {
@@ -323,6 +343,7 @@ func Build(spec TopologySpec) (*Node, error) {
 			sum += derive(c)
 		}
 		n.Budget = sum * margin
+		n.Capacities = SumCapacities(n.Children)
 		return n.Budget
 	}
 	derive(root)

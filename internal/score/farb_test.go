@@ -1,0 +1,112 @@
+package score
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDefaultFARBWeights(t *testing.T) {
+	w := DefaultFARBWeights()
+	if w.Balance != 2.0 || w.Fullness != 1.0 || w.Residual != 0.5 || w.Asynchrony != 0 {
+		t.Fatalf("defaults = %+v", w)
+	}
+	if !(FARBWeights{}).IsZero() || w.IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+	if (FARBWeights{}).OrDefault() != w {
+		t.Fatal("zero value must resolve to defaults")
+	}
+	custom := FARBWeights{Balance: 1}
+	if custom.OrDefault() != custom {
+		t.Fatal("explicit weights must pass through")
+	}
+}
+
+func TestCompositeHandComputed(t *testing.T) {
+	// Residuals 0.8 and 0.2: balance 0.6, fullness 0.5, l2 sqrt(0.68).
+	got, err := Composite(FARBWeights{}, []float64{0.8, 0.2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0*0.6 + 1.0*0.5 + 0.5*math.Sqrt(0.8*0.8+0.2*0.2)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Composite = %v, want %v", got, want)
+	}
+
+	// A balanced residual must cost less than an imbalanced one of the same
+	// mean — the whole point of the heuristic.
+	balanced, _ := Composite(FARBWeights{}, []float64{0.5, 0.5}, 0)
+	imbalanced, _ := Composite(FARBWeights{}, []float64{1.0, 0.0}, 0)
+	if balanced >= imbalanced {
+		t.Fatalf("balanced %v should beat imbalanced %v", balanced, imbalanced)
+	}
+
+	// Fuller hosts (smaller residuals) cost less at equal balance.
+	full, _ := Composite(FARBWeights{}, []float64{0.1, 0.1}, 0)
+	empty, _ := Composite(FARBWeights{}, []float64{0.9, 0.9}, 0)
+	if full >= empty {
+		t.Fatalf("fuller host %v should beat emptier %v", full, empty)
+	}
+
+	// The asynchrony reward subtracts.
+	w := FARBWeights{Balance: 2, Fullness: 1, Residual: 0.5, Asynchrony: 3}
+	with, _ := Composite(w, []float64{0.5}, 1)
+	without, _ := Composite(w, []float64{0.5}, 0)
+	if math.Abs((without-with)-3) > 1e-15 {
+		t.Fatalf("asynchrony term: with=%v without=%v", with, without)
+	}
+
+	// Single dimension: balance is 0, so the composite reduces to fullness
+	// + residual pressure (best-fit-like).
+	single, err := Composite(FARBWeights{}, []float64{0.4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.0*0.4 + 0.5*0.4; math.Abs(single-want) > 1e-15 {
+		t.Fatalf("single-dim composite = %v, want %v", single, want)
+	}
+}
+
+func TestCompositeErrors(t *testing.T) {
+	if _, err := Composite(FARBWeights{}, nil, 0); !errors.Is(err, ErrNoResiduals) {
+		t.Fatalf("empty residuals: %v", err)
+	}
+	if _, err := Composite(FARBWeights{}, []float64{-0.1}, 0); !errors.Is(err, ErrBadResidual) {
+		t.Fatalf("negative residual: %v", err)
+	}
+	if _, err := Composite(FARBWeights{}, []float64{math.NaN()}, 0); !errors.Is(err, ErrBadResidual) {
+		t.Fatalf("NaN residual: %v", err)
+	}
+	if _, err := Composite(FARBWeights{Balance: -1}, []float64{0.5}, 0); !errors.Is(err, ErrBadWeights) {
+		t.Fatalf("negative weight: %v", err)
+	}
+	if err := (FARBWeights{Asynchrony: math.Inf(1)}).Validate(); !errors.Is(err, ErrBadWeights) {
+		t.Fatalf("inf weight: %v", err)
+	}
+}
+
+func BenchmarkFARBComposite(b *testing.B) {
+	b.ReportAllocs()
+	w := DefaultFARBWeights()
+	res := []float64{0.8, 0.2, 0.5, 0.33}
+	for i := 0; i < b.N; i++ {
+		if _, err := Composite(w, res, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCompositeAllocFree pins the zero-alloc contract of the kernel.
+func TestCompositeAllocFree(t *testing.T) {
+	w := DefaultFARBWeights()
+	res := []float64{0.8, 0.2, 0.5}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := Composite(w, res, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Composite allocates %v per op, want 0", allocs)
+	}
+}

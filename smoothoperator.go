@@ -37,6 +37,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/placement"
 	"repro/internal/powertree"
+	"repro/internal/score"
 	"repro/internal/timeseries"
 	"repro/internal/tracestore"
 	"repro/internal/workload"
@@ -77,8 +78,33 @@ type (
 
 	// Placer decides which leaf hosts each instance.
 	Placer = placement.Placer
-	// Instance identifies a service instance to be placed.
+	// Instance identifies a service instance to be placed; Demands
+	// optionally carries its multi-resource demand vector.
 	Instance = placement.Instance
+
+	// ResourceVector maps capacity dimension names (e.g. "gpu", "net") to
+	// non-negative amounts; power stays the canonical dimension and is never
+	// a ResourceVector key.
+	ResourceVector = powertree.ResourceVector
+	// PolicyConfig selects and tunes an online placement policy: kind, seed,
+	// FARB weights, optional custom policy and demand resolver. The zero
+	// value is the paper's bit-exact power-only asynchrony placer.
+	PolicyConfig = placement.PolicyConfig
+	// PolicyKind names a built-in online policy.
+	PolicyKind = placement.PolicyKind
+	// Policy picks which feasible leaf hosts an arriving instance.
+	Policy = placement.Policy
+	// DemandFn resolves an instance ID to its resource demand vector.
+	DemandFn = placement.DemandFn
+	// TraceFn resolves an instance ID to its power trace.
+	TraceFn = placement.TraceFn
+	// FARBWeights tune the multi-resource composite objective.
+	FARBWeights = score.FARBWeights
+	// OnlinePlacer admits and retires instances one at a time.
+	OnlinePlacer = placement.OnlinePlacer
+	// AdmitRequest is a Runtime admission: instance identity plus an
+	// optional demand vector.
+	AdmitRequest = core.AdmitRequest
 
 	// Runtime operates SmoothOperator as a continuously-running service:
 	// telemetry ingestion, bootstrap placement, periodic drift repair.
@@ -130,6 +156,14 @@ const (
 	GradeNoData   = tracestore.GradeNoData
 )
 
+// Built-in online placement policies, selected via PolicyConfig.Kind.
+const (
+	PolicyAsynchrony = placement.PolicyAsynchrony
+	PolicyBestFit    = placement.PolicyBestFit
+	PolicyRandom     = placement.PolicyRandom
+	PolicyFARB       = placement.PolicyFARB
+)
+
 // Named errors re-exported for errors.Is checks against facade calls.
 var (
 	// ErrBadScoreFloor rejects a negative RuntimeConfig.ScoreFloor.
@@ -145,6 +179,17 @@ var (
 	// ErrNotPlaced and ErrAlreadyPlaced guard Runtime bootstrap ordering.
 	ErrNotPlaced     = core.ErrNotPlaced
 	ErrAlreadyPlaced = core.ErrAlreadyPlaced
+	// ErrNoCapacity means no leaf can admit the instance without a breaker
+	// violation or capacity overflow.
+	ErrNoCapacity = placement.ErrNoCapacity
+	// ErrBadDimension rejects malformed resource vectors (empty dimension
+	// names, negative or non-finite amounts).
+	ErrBadDimension = powertree.ErrBadDimension
+	// ErrReservedPower rejects resource vectors that name the canonical
+	// power dimension.
+	ErrReservedPower = powertree.ErrReservedPower
+	// ErrUnknownPolicyKind rejects a PolicyConfig naming no built-in policy.
+	ErrUnknownPolicyKind = placement.ErrUnknownPolicyKind
 )
 
 // New returns a SmoothOperator framework with the given configuration.
@@ -167,6 +212,19 @@ func BuildDatacenter(cfg DCConfig) (*Fleet, *PowerNode, error) {
 func BuildTree(spec TopologySpec) (*PowerNode, error) {
 	return powertree.Build(spec)
 }
+
+// NewOnlinePlacer wraps a live (possibly populated) power tree for
+// one-at-a-time admission and retirement under the policy cfg describes.
+// The zero PolicyConfig reproduces the power-only asynchrony placer
+// decision-for-decision; set cfg.Demands (or per-Instance Demands) to
+// enforce the tree's capacity dimensions.
+func NewOnlinePlacer(tree *PowerNode, traces TraceFn, cfg PolicyConfig) (OnlinePlacer, error) {
+	return placement.NewOnline(tree, traces, cfg)
+}
+
+// DefaultFARBWeights returns the published default weighting of the
+// multi-resource composite objective.
+func DefaultFARBWeights() FARBWeights { return score.DefaultFARBWeights() }
 
 // ObliviousBaseline returns the production-baseline placer with the given
 // mix fraction (0 packs services together; 1 deals everything out).
